@@ -1,0 +1,44 @@
+"""Design-choice ablation: frozen-segment BatchNorm mode.
+
+DESIGN.md: frozen segments run in eval mode during local fine-tuning so
+their BN layers keep the pretrained running statistics (the standard
+frozen-extractor convention). The ablated alternative lets frozen BN
+layers keep updating batch statistics locally. This bench runs both on the
+conv model and reports the accuracy of each.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import STANDARD_METHODS
+
+
+def test_ablation_frozen_bn_mode(benchmark, harness):
+    import repro.fl.client as client_mod
+
+    def job():
+        results = {}
+        method = STANDARD_METHODS["fedft_eds"]
+        # Convention under test: set_partial_train_mode (frozen -> eval)
+        run = harness.federated(
+            "cifar10", method, alpha=0.5, num_clients=3,
+            model_kind="conv", rounds=2,
+        )
+        results["frozen_bn_eval"] = run.best_accuracy
+
+        # Ablation: all segments in train mode (frozen BN drifts locally).
+        original = client_mod.SegmentedModel.set_partial_train_mode
+        client_mod.SegmentedModel.set_partial_train_mode = (
+            lambda self: self.train()
+        )
+        try:
+            run = harness.federated(
+                "cifar100", method, alpha=0.5, num_clients=3,
+                model_kind="conv", rounds=2,
+            )
+            results["frozen_bn_train"] = run.best_accuracy
+        finally:
+            client_mod.SegmentedModel.set_partial_train_mode = original
+        return results
+
+    results = run_once(benchmark, job)
+    assert set(results) == {"frozen_bn_eval", "frozen_bn_train"}

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 10a (fine-tuned model part ablation)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig10a
+
+
+def test_fig10a_fine_tune_parts(benchmark, harness, context):
+    report = run_once(benchmark, run_fig10a, harness, context)
+    levels = [row["level"] for row in report.data["levels"]]
+    assert levels == ["full", "large", "moderate", "classifier"]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 10b (heterogeneity ablation)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig10b
+
+
+def test_fig10b_heterogeneity(benchmark, harness, context):
+    report = run_once(benchmark, run_fig10b, harness, context)
+    alphas = [row["alpha"] for row in report.data["alphas"]]
+    assert alphas == [0.01, 0.05, 0.1, 0.5, 1.0]

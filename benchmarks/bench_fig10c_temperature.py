@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 10c (hardened-softmax temperature ablation)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig10c
+
+
+def test_fig10c_temperature(benchmark, harness, context):
+    report = run_once(benchmark, run_fig10c, harness, context)
+    rhos = [row["rho"] for row in report.data["temperatures"]]
+    assert rhos == [0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+    # RDS baseline is rho-independent (same seed and config)
+    assert report.data["rds_reference"] is not None

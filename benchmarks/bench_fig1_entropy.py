@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 1 (entropy distribution vs temperature)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig1
+
+
+def test_fig1_entropy_distribution(benchmark, harness, context):
+    report = run_once(benchmark, run_fig1, harness, context)
+    temps = [row["rho"] for row in report.data["temperatures"]]
+    assert temps == [1.0, 0.5, 0.1]
+    # hardened softmax concentrates the distribution near zero entropy
+    medians = {row["rho"]: row["median"] for row in report.data["temperatures"]}
+    assert medians[0.1] <= medians[1.0]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figs. 2-4 (CKA between client models)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_cka
+
+
+def test_fig2_4_cka(benchmark, harness, context):
+    report = run_once(benchmark, run_cka, harness, context)
+    settings = report.data["settings"]
+    assert len(settings) == 4  # {0.1, 0.5} x {scratch, pretrained}
+    for setting in settings:
+        for segment in ("low", "mid", "up"):
+            heat = setting["heatmaps"][segment]
+            k = len(heat)
+            assert all(len(row) == k for row in heat)
+            assert all(abs(heat[i][i] - 1.0) < 1e-9 for i in range(k))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 5 (learning curves, 10 clients)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig5
+
+
+def test_fig5_learning_curves(benchmark, harness, context):
+    report = run_once(benchmark, run_fig5, harness, context)
+    curves = report.data["curves"]
+    assert curves, "no curves produced"
+    rounds = harness.scale.rounds
+    assert all(len(c["accuracy_by_round"]) == rounds for c in curves)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 6 (learning efficiency, 10 clients)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig6
+
+
+def test_fig6_learning_efficiency(benchmark, harness, context):
+    report = run_once(benchmark, run_fig6, harness, context)
+    points = report.data["points"]
+    assert all(p["client_seconds"] > 0 for p in points)
+    # FedFT variants must be cheaper than the full-model baselines
+    cost = {p["method"]: p["client_seconds"] for p in points
+            if p["dataset"] == "cifar10" and p["alpha"] == 0.1}
+    assert cost["FedFT-EDS (10%)"] < cost["FedAvg"]

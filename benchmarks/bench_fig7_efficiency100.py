@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 7 (learning efficiency, 100 clients)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig7
+
+
+def test_fig7_efficiency_100_clients(benchmark, harness, context):
+    report = run_once(benchmark, run_fig7, harness, context)
+    points = report.data["points"]
+    assert points
+    assert all(p["efficiency_pct_per_s"] > 0 for p in points)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 8 (learning curves, 100 clients)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig8
+
+
+def test_fig8_curves_100_clients(benchmark, harness, context):
+    report = run_once(benchmark, run_fig8, harness, context)
+    methods = {c["method"] for c in report.data["curves"]}
+    assert "FedFT-EDS (10%)" in methods
+    assert "FedAvg (10% c.p.)" in methods

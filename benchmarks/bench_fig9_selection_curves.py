@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9 (curves by selection volume)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import run_fig9
+
+
+def test_fig9_selection_volume_curves(benchmark, harness, context):
+    report = run_once(benchmark, run_fig9, harness, context)
+    methods = {c["method"] for c in report.data["curves"]}
+    assert {"FedFT-RDS (10%)", "FedFT-EDS (50%)", "FedFT-ALL"} <= methods

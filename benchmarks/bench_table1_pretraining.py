@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (pretraining improves FL)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_pretraining(benchmark, harness):
+    report = run_once(benchmark, table1.run, harness)
+    rows = report.data["rows"]
+    assert [r["pretraining"] for r in rows] == [
+        "na", "CIFAR-100", "Small ImageNet",
+    ]
+    assert all("0.1" in r["acc"] and "0.5" in r["acc"] for r in rows)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (main 10-client comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+from repro.experiments.figures import _ensure_table2_matrix
+
+
+def test_table2_main(benchmark, harness, context):
+    def job():
+        matrix = _ensure_table2_matrix(harness, context)
+        return table2.run(harness, matrix)
+
+    report = run_once(benchmark, job)
+    methods = [r["method"] for r in report.data["rows"]]
+    assert "FedFT-EDS (10%)" in methods
+    assert methods[-1] == "Centralised"

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III (100 clients with stragglers)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+from repro.experiments.figures import _ensure_table3_matrix
+
+
+def test_table3_stragglers(benchmark, harness, context):
+    def job():
+        matrix = _ensure_table3_matrix(harness, context)
+        return table3.run(harness, matrix)
+
+    report = run_once(benchmark, job)
+    methods = [r["method"] for r in report.data["rows"]]
+    assert "FedFT-EDS (50%)" in methods
+    assert "FedAvg (10% c.p.)" in methods
+    assert "FedFT-ALL" in methods

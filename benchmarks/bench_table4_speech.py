@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table IV (cross-domain speech)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_cross_domain_speech(benchmark, harness):
+    report = run_once(benchmark, table4.run, harness)
+    rows = report.data["rows"]
+    methods = [r["method"] for r in rows]
+    assert methods[0] == "FedAvg w/o pt."
+    assert methods[-1] == "Centralised"
+    assert all(0.0 <= r["acc"] <= 1.0 for r in rows)

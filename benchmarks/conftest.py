@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at `smoke`
+scale via the same runners the real campaign uses (``repro-experiments
+--scale default`` produces the recorded numbers; the benchmarks prove every
+artefact's pipeline end to end and track its cost).
+
+A session-scoped harness shares the synthetic worlds and pretrained models
+across benchmarks, exactly like one experiment campaign does.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentHarness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return ExperimentHarness("smoke", seed=0)
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Shared run-matrix cache (table2/table3 feed figs. 5-9)."""
+    return {}
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Cross-domain federated fine-tuning on the speech-commands stand-in.
+
+A miniature Table IV: the target domain (synthetic Google Speech Commands)
+shares only low-level structure with the image pretraining domain, yet
+pretraining still helps, and entropy-based selection still beats random
+selection.
+
+Run:  python examples/cross_domain_speech.py
+"""
+
+from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+from repro.utils import format_table
+
+CLIENTS = 30
+ROUNDS = 12
+ALPHA = 0.1
+
+
+def main() -> None:
+    harness = ExperimentHarness("default", seed=0)
+    configs = [
+        ("FedAvg w/o pretraining", "fedavg_scratch", None),
+        ("FedAvg w/ pretraining", "fedavg", None),
+        ("FedFT-RDS (50%)", "fedft_rds", 0.5),
+        ("FedFT-EDS (50%)", "fedft_eds", 0.5),
+    ]
+    rows = []
+    print(f"Running {len(configs)} configurations on the speech stand-in...\n")
+    for label, key, pds in configs:
+        method = STANDARD_METHODS[key]
+        if pds is not None and pds != method.pds:
+            method = method.with_pds(pds)
+        result = harness.federated(
+            dataset="speech_commands",
+            method=method,
+            alpha=ALPHA,
+            num_clients=CLIENTS,
+            rounds=ROUNDS,
+        )
+        rows.append([label, f"{100 * result.best_accuracy:.2f}"])
+    central = harness.centralized("speech_commands")
+    rows.append(["Centralised (upper bound)", f"{100 * central.best_accuracy:.2f}"])
+    print(
+        format_table(
+            ["Method", "top-1 acc %"],
+            rows,
+            title=f"Cross-domain speech, Diri({ALPHA}), {CLIENTS} clients",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Straggler scenario: heavyweight FedAvg vs lightweight FedFT-EDS.
+
+A miniature Table III: with 40 clients, standard FedAvg is so heavy that
+only a fraction of clients finish each round (the rest straggle), while
+FedFT-EDS's reduced workload lets everyone participate. The example shows
+how participation loss hurts FedAvg under strong heterogeneity and how
+FedFT-EDS sidesteps it.
+
+Run:  python examples/straggler_scenario.py
+"""
+
+from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+from repro.utils import format_table
+
+CLIENTS = 40
+ROUNDS = 12
+ALPHA = 0.1
+
+
+def main() -> None:
+    harness = ExperimentHarness("default", seed=0)
+    rows = []
+    configs = [
+        ("FedAvg, 100% participation", "fedavg", 1.0, None),
+        ("FedAvg, 20% participation", "fedavg", 0.2, None),
+        ("FedAvg, 10% participation", "fedavg", 0.1, None),
+        ("FedFT-EDS (10%), full part.", "fedft_eds", 1.0, 0.1),
+        ("FedFT-EDS (50%), full part.", "fedft_eds", 1.0, 0.5),
+        ("FedFT-ALL, full part.", "fedft_all", 1.0, None),
+    ]
+    print(f"Running {len(configs)} configurations "
+          f"({CLIENTS} clients, {ROUNDS} rounds each)...\n")
+    for label, key, fraction, pds in configs:
+        method = STANDARD_METHODS[key]
+        if pds is not None and pds != method.pds:
+            method = method.with_pds(pds)
+        result = harness.federated(
+            dataset="cifar10",
+            method=method,
+            alpha=ALPHA,
+            num_clients=CLIENTS,
+            rounds=ROUNDS,
+            participation_fraction=fraction,
+        )
+        rows.append(
+            [
+                label,
+                f"{100 * result.best_accuracy:.2f}",
+                f"{result.history.total_client_seconds:.1f}",
+                f"{result.efficiency.efficiency:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Configuration", "best acc %", "client seconds", "acc%/s"],
+            rows,
+            title=f"Straggler scenario: synthetic CIFAR-10, Diri({ALPHA})",
+        )
+    )
+    print(
+        "\nNote how FedAvg degrades as stragglers drop out, while FedFT-EDS"
+        "\nkeeps every client in the round at a fraction of the client time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Hardened softmax and entropy scoring (paper §III-E, Eqs. 2-3 and 6).
+
+Knowledge distillation *softens* the softmax with a temperature ρ > 1 to
+enrich dark knowledge; the paper inverts the trick: with ρ < 1 the
+distribution *hardens*, so a slight confidence gain collapses a sample's
+entropy and pushes it out of the selected set. Only genuinely uncertain
+samples survive the ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.selection import batched_logits
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+#: The paper's default hardening temperature.
+DEFAULT_TEMPERATURE = 0.1
+
+
+def hardened_softmax(logits: np.ndarray, temperature: float = DEFAULT_TEMPERATURE) -> np.ndarray:
+    """Temperature softmax (Eq. 6); ρ < 1 hardens, ρ > 1 softens."""
+    return F.softmax(logits, temperature)
+
+
+def entropy_scores(
+    model: Module,
+    dataset: Dataset,
+    temperature: float = DEFAULT_TEMPERATURE,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Per-sample Shannon entropy of the hardened softmax output (Eqs. 2-3).
+
+    One eval-mode forward pass over the client's data — the entirety of the
+    selection overhead FedFT-EDS adds to a round.
+    """
+    x, _ = dataset.arrays()
+    logits = batched_logits(model, x, batch_size)
+    return F.entropy_from_logits(logits, temperature)
+
+
+def select_top_entropy(
+    scores: np.ndarray, fraction: float
+) -> np.ndarray:
+    """Indices of the highest-entropy ``fraction`` of samples, sorted."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(scores)
+    if n == 0:
+        raise ValueError("no scores to select from")
+    k = max(1, int(round(fraction * n)))
+    top = np.argpartition(scores, n - k)[n - k :]
+    return np.sort(top)

@@ -1,0 +1,78 @@
+"""Batch-level input transforms (NCHW tensors)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils import make_rng
+
+
+class Transform:
+    """A callable mapping a batch ``(n, c, h, w)`` to a transformed batch."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Normalize(Transform):
+    """Channel-wise standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.mean[None, :, None, None]) / self.std[None, :, None, None]
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self.rng = make_rng(rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        flip = self.rng.random(len(x)) < self.p
+        out = x.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop(Transform):
+    """Zero-pad by ``padding`` then crop back to the original size."""
+
+    def __init__(self, padding: int = 2, rng: np.random.Generator | int = 0):
+        if padding <= 0:
+            raise ValueError("padding must be positive")
+        self.padding = padding
+        self.rng = make_rng(rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        tops = self.rng.integers(0, 2 * p + 1, size=n)
+        lefts = self.rng.integers(0, 2 * p + 1, size=n)
+        out = np.empty_like(x)
+        for i in range(n):
+            out[i] = padded[i, :, tops[i] : tops[i] + h, lefts[i] : lefts[i] + w]
+        return out
+
+
+class Compose(Transform):
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x)
+        return x

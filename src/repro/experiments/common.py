@@ -1,0 +1,341 @@
+"""Shared experiment harness: worlds, pretraining caches, method matrix.
+
+One :class:`ExperimentHarness` per (scale, seed) builds every dataset and
+pretrained model once and shares them across the methods of a table, the
+same way the paper's baselines share a common setup. Partitions are cached
+per (dataset, alpha, clients) so every method sees identical client shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data import synthetic
+from repro.data.partition import dirichlet_partition
+from repro.data.synthetic import DomainSpec
+from repro.fl.client import Client
+from repro.fl.rounds import TrainingHistory, run_federated_training
+from repro.fl.sampling import FractionParticipation, FullParticipation
+from repro.fl.server import Server
+from repro.fl.strategies import LocalSolver
+from repro.fl.timing import TimingModel
+from repro.core.fedft_eds import make_selector
+from repro.core.partial import adapt_to_task, prepare_partial_model
+from repro.metrics.efficiency import LearningEfficiency, learning_efficiency
+from repro.nn.cnn import SmallConvNet
+from repro.nn.mlp import MLP
+from repro.nn.segmented import SegmentedModel
+from repro.nn.wrn import WideResNet
+from repro.pretrain.centralized import CentralizedConfig, CentralizedResult, train_centralized
+from repro.pretrain.pretrainer import PretrainConfig, pretrain_model
+from repro.experiments.scales import Scale, get_scale
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One row of the paper's method matrix."""
+
+    key: str
+    label: str
+    pretrain_source: str | None  # None | "small_imagenet" | "cifar100"
+    fine_tune_level: str  # "full" for FedAvg/FedProx, "moderate" for FedFT
+    selection: str  # "eds" | "rds" | "all"
+    pds: float  # the paper's selection proportion P_ds
+    prox_mu: float = 0.0
+    temperature: float = 0.1
+
+    def with_pds(self, pds: float) -> "MethodSpec":
+        label = self.label.split(" (")[0]
+        if pds < 1.0:
+            label = f"{label} ({int(round(100 * pds))}%)"
+        return replace(self, pds=pds, label=label)
+
+
+#: The paper's methods (Tables II-IV). ``prox_mu`` is resolved from the
+#: scale at run time for the FedProx rows (sentinel -1).
+STANDARD_METHODS: dict[str, MethodSpec] = {
+    "fedavg_scratch": MethodSpec(
+        "fedavg_scratch", "FedAvg w/o pt", None, "full", "all", 1.0
+    ),
+    "fedavg": MethodSpec(
+        "fedavg", "FedAvg", "small_imagenet", "full", "all", 1.0
+    ),
+    "fedavg_rds": MethodSpec(
+        "fedavg_rds", "FedAvg-RDS (10%)", "small_imagenet", "full", "rds", 0.1
+    ),
+    "fedprox": MethodSpec(
+        "fedprox", "FedProx", "small_imagenet", "full", "all", 1.0, prox_mu=-1.0
+    ),
+    "fedprox_rds": MethodSpec(
+        "fedprox_rds", "FedProx-RDS (10%)", "small_imagenet", "full", "rds", 0.1,
+        prox_mu=-1.0,
+    ),
+    "fedft_rds": MethodSpec(
+        "fedft_rds", "FedFT-RDS (10%)", "small_imagenet", "moderate", "rds", 0.1
+    ),
+    "fedft_eds": MethodSpec(
+        "fedft_eds", "FedFT-EDS (10%)", "small_imagenet", "moderate", "eds", 0.1
+    ),
+    "fedft_all": MethodSpec(
+        "fedft_all", "FedFT-ALL", "small_imagenet", "moderate", "all", 1.0
+    ),
+}
+
+
+@dataclass
+class RunResult:
+    """A federated run plus derived metrics (and optional client states)."""
+
+    method: MethodSpec
+    dataset: str
+    alpha: float
+    num_clients: int
+    history: TrainingHistory
+    efficiency: LearningEfficiency
+    client_states: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def best_accuracy(self) -> float:
+        return self.history.best_accuracy
+
+
+def _stable_seed(*parts) -> int:
+    """Deterministic 31-bit seed from heterogeneous identifying parts."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode()) & 0x7FFFFFFF
+
+
+class ExperimentHarness:
+    """Builds and caches the shared pieces of one experiment campaign."""
+
+    def __init__(self, scale: Scale | str = "default", seed: int = 0):
+        self.scale = get_scale(scale) if isinstance(scale, str) else scale
+        self.seed = seed
+        self.timing = TimingModel(flops_per_second=1e9)
+        self._world = None
+        self._source_domain = None
+        self._specs: dict[tuple[str, str], DomainSpec] = {}
+        self._pretrained: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+        self._partitions: dict[tuple, list[np.ndarray]] = {}
+
+    # -- world and datasets -------------------------------------------------
+    @property
+    def world(self):
+        if self._world is None:
+            self._world = synthetic.make_vision_world(
+                seed=self.seed,
+                image_size=self.scale.image_size,
+                latent_dim=self.scale.latent_dim,
+            )
+        return self._world
+
+    @property
+    def source_domain(self):
+        if self._source_domain is None:
+            self._source_domain = synthetic._source_domain(
+                self.world, self.seed, self.scale.src_classes
+            )
+        return self._source_domain
+
+    def spec(self, name: str, model_kind: str = "main") -> DomainSpec:
+        """Dataset spec; conv experiments use the smaller conv sizes."""
+        key = (name, model_kind)
+        if key in self._specs:
+            return self._specs[key]
+        s = self.scale
+        train = s.target_train if model_kind == "main" else s.conv_train
+        test = s.test_size if model_kind == "main" else s.conv_test
+        if name == "small_imagenet":
+            # Conv experiments shrink the source set in proportion to the
+            # smaller target set, keeping the source/target size ratio.
+            src_train = s.src_train
+            if model_kind != "main":
+                src_train = max(1, s.src_train * s.conv_train // s.target_train)
+            spec = synthetic.make_small_imagenet(
+                self.world, seed=self.seed, num_classes=s.src_classes,
+                train_size=src_train, test_size=test,
+            )
+        elif name == "cifar10":
+            spec = synthetic.make_cifar10(
+                self.world, seed=self.seed, num_classes=s.c10_classes,
+                train_size=train, test_size=test,
+                source_domain=self.source_domain,
+            )
+        elif name == "cifar100":
+            spec = synthetic.make_cifar100(
+                self.world, seed=self.seed, num_classes=s.c100_classes,
+                train_size=train, test_size=test,
+                source_domain=self.source_domain,
+            )
+        elif name == "speech_commands":
+            spec = synthetic.make_speech_commands(
+                self.world, seed=self.seed, num_classes=s.gsc_classes,
+                train_size=train, test_size=test,
+            )
+        else:
+            raise ValueError(f"unknown dataset {name!r}")
+        self._specs[key] = spec
+        return spec
+
+    # -- models --------------------------------------------------------------
+    def build_model(
+        self, model_kind: str, num_classes: int, rng: np.random.Generator
+    ) -> SegmentedModel:
+        """Fresh model of the scale's architecture for ``model_kind``."""
+        s = self.scale
+        name = s.model_main if model_kind == "main" else s.model_conv
+        shape = (3, s.image_size, s.image_size)
+        if name == "mlp":
+            return MLP(int(np.prod(shape)), s.mlp_hidden, num_classes, rng)
+        if name == "cnn":
+            return SmallConvNet(
+                num_classes, rng, in_channels=shape[0], channels=s.conv_channels
+            )
+        if name == "wrn16":
+            return WideResNet(16, 1, num_classes, rng, in_channels=shape[0])
+        raise ValueError(f"unknown model {name!r}")
+
+    def pretrained_state(
+        self, model_kind: str, source_name: str
+    ) -> dict[str, np.ndarray]:
+        """Pretrain (once) on a source domain; returns the state dict."""
+        key = (model_kind, source_name)
+        if key in self._pretrained:
+            return self._pretrained[key]
+        source = self.spec(source_name, model_kind)
+        rng = np.random.default_rng(_stable_seed(self.seed, "init", model_kind))
+        model = self.build_model(model_kind, source.num_classes, rng)
+        epochs = (
+            self.scale.pretrain_epochs
+            if model_kind == "main"
+            else self.scale.conv_pretrain_epochs
+        )
+        pretrain_model(
+            model, source, PretrainConfig(epochs=epochs, seed=self.seed)
+        )
+        self._pretrained[key] = model.state_dict()
+        return self._pretrained[key]
+
+    # -- partitions -----------------------------------------------------------
+    def partition(
+        self, dataset: str, alpha: float, num_clients: int, model_kind: str = "main"
+    ) -> list[np.ndarray]:
+        """Dirichlet shards, cached so all methods compare on the same split."""
+        key = (dataset, alpha, num_clients, model_kind)
+        if key not in self._partitions:
+            spec = self.spec(dataset, model_kind)
+            rng = np.random.default_rng(_stable_seed(self.seed, "part", *key))
+            self._partitions[key] = dirichlet_partition(
+                spec.train.labels, num_clients, alpha, rng
+            )
+        return self._partitions[key]
+
+    # -- runs -------------------------------------------------------------------
+    def prepare_global_model(
+        self, method: MethodSpec, spec: DomainSpec, model_kind: str
+    ) -> SegmentedModel:
+        """Build (and maybe pretrain-load) the global model for a method."""
+        rng = np.random.default_rng(_stable_seed(self.seed, "init", model_kind))
+        head_rng = np.random.default_rng(
+            _stable_seed(self.seed, "head", model_kind, spec.name)
+        )
+        if method.pretrain_source is not None:
+            source = self.spec(method.pretrain_source, model_kind)
+            model = self.build_model(model_kind, source.num_classes, rng)
+            model.load_state_dict(self.pretrained_state(model_kind, method.pretrain_source))
+        else:
+            model = self.build_model(model_kind, spec.num_classes, rng)
+        if method.pretrain_source is not None or model.num_classes != spec.num_classes:
+            adapt_to_task(model, spec.num_classes, head_rng)
+        prepare_partial_model(model, method.fine_tune_level)
+        return model
+
+    def federated(
+        self,
+        dataset: str,
+        method: MethodSpec,
+        alpha: float,
+        num_clients: int,
+        rounds: int | None = None,
+        participation_fraction: float = 1.0,
+        model_kind: str = "main",
+        collect_client_states: bool = False,
+        verbose: bool = False,
+    ) -> RunResult:
+        """Run one federated method under the shared setup."""
+        s = self.scale
+        spec = self.spec(dataset, model_kind)
+        model = self.prepare_global_model(method, spec, model_kind)
+        shards = self.partition(dataset, alpha, num_clients, model_kind)
+        prox = s.prox_mu if method.prox_mu == -1.0 else method.prox_mu
+        solver = LocalSolver(
+            lr=s.lr, momentum=s.momentum, prox_mu=prox, batch_size=s.batch_size
+        )
+        run_seed = _stable_seed(
+            self.seed, "run", dataset, method.key, alpha, num_clients,
+            participation_fraction, model_kind,
+        )
+        client_seq = np.random.SeedSequence(run_seed)
+        client_rngs = [np.random.default_rng(c) for c in client_seq.spawn(num_clients)]
+        clients = [
+            Client(
+                client_id=i,
+                dataset=spec.train.subset(shard),
+                selector=make_selector(method.selection, method.temperature),
+                solver=solver,
+                selection_fraction=method.pds,
+                epochs=s.local_epochs,
+                rng=client_rngs[i],
+            )
+            for i, shard in enumerate(shards)
+        ]
+        server = Server(model, spec.test)
+        participation = (
+            FullParticipation()
+            if participation_fraction >= 1.0
+            else FractionParticipation(participation_fraction)
+        )
+        rounds = rounds or (
+            s.rounds if model_kind == "main" else s.conv_rounds
+        )
+        history = run_federated_training(
+            server,
+            clients,
+            rounds=rounds,
+            seed=run_seed + 1,
+            participation=participation,
+            timing=self.timing,
+            verbose=verbose,
+        )
+        result = RunResult(
+            method=method,
+            dataset=dataset,
+            alpha=alpha,
+            num_clients=num_clients,
+            history=history,
+            efficiency=learning_efficiency(method.label, history),
+        )
+        if collect_client_states:
+            broadcast = server.broadcast()
+            for client in clients:
+                client.run_round(server.model, broadcast, timing=None)
+                result.client_states.append(server.model.state_dict())
+        return result
+
+    def centralized(
+        self, dataset: str, model_kind: str = "main"
+    ) -> CentralizedResult:
+        """Centralised upper-bound run on the pooled target data."""
+        spec = self.spec(dataset, model_kind)
+        rng = np.random.default_rng(_stable_seed(self.seed, "central", dataset))
+        model = self.build_model(model_kind, spec.num_classes, rng)
+        return train_centralized(
+            model,
+            spec,
+            CentralizedConfig(
+                epochs=self.scale.centralized_epochs, seed=self.seed
+            ),
+        )

@@ -1,0 +1,62 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import figures, table1, table2, table3, table4
+from repro.experiments.common import ExperimentHarness
+from repro.experiments.reporting import ExperimentReport
+
+Runner = Callable[[ExperimentHarness, dict], ExperimentReport]
+
+
+def _wrap_table(module_run) -> Runner:
+    def runner(harness: ExperimentHarness, context: dict) -> ExperimentReport:
+        return module_run(harness)
+
+    return runner
+
+
+def _table2_runner(harness: ExperimentHarness, context: dict) -> ExperimentReport:
+    matrix = figures._ensure_table2_matrix(harness, context)
+    return table2.run(harness, matrix)
+
+
+def _table3_runner(harness: ExperimentHarness, context: dict) -> ExperimentReport:
+    matrix = figures._ensure_table3_matrix(harness, context)
+    return table3.run(harness, matrix)
+
+
+#: Experiment id → (runner, one-line description). Order follows the paper.
+EXPERIMENTS: dict[str, tuple[Runner, str]] = {
+    "fig1": (figures.run_fig1, "entropy distribution vs softmax temperature"),
+    "table1": (_wrap_table(table1.run), "pretraining improves FL (conv model)"),
+    "fig2_4": (figures.run_cka, "CKA similarity between client models (conv)"),
+    "table2": (_table2_runner, "main 10-client comparison"),
+    "fig5": (figures.run_fig5, "learning curves, 10 clients"),
+    "fig6": (figures.run_fig6, "learning efficiency, 10 clients"),
+    "table3": (_table3_runner, "100 clients with stragglers"),
+    "fig7": (figures.run_fig7, "learning efficiency, 100 clients"),
+    "fig8": (figures.run_fig8, "learning curves, 100 clients"),
+    "fig9": (figures.run_fig9, "learning curves by selection volume"),
+    "table4": (_wrap_table(table4.run), "cross-domain speech evaluation"),
+    "fig10a": (figures.run_fig10a, "ablation: fine-tuned model part"),
+    "fig10b": (figures.run_fig10b, "ablation: heterogeneity level"),
+    "fig10c": (figures.run_fig10c, "ablation: softmax temperature"),
+}
+
+
+def list_experiments() -> list[str]:
+    """Ids of all registered experiments, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> tuple[Runner, str]:
+    """Look up a runner by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]

@@ -1,0 +1,76 @@
+"""Result containers, text rendering and JSON persistence for experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.utils import format_table
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform output of every experiment runner.
+
+    ``table`` is the text artefact printed for the user (the regenerated
+    paper table / figure series); ``data`` is a JSON-serialisable payload
+    with the raw numbers for downstream analysis.
+    """
+
+    experiment_id: str
+    title: str
+    table: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def save(self, directory: str) -> tuple[str, str]:
+        """Write ``<id>.txt`` and ``<id>.json`` into ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        txt_path = os.path.join(directory, f"{self.experiment_id}.txt")
+        json_path = os.path.join(directory, f"{self.experiment_id}.json")
+        with open(txt_path, "w") as handle:
+            handle.write(f"{self.title}\n\n{self.table}\n")
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "experiment_id": self.experiment_id,
+                    "title": self.title,
+                    "data": _jsonable(self.data),
+                },
+                handle,
+                indent=2,
+            )
+        return txt_path, json_path
+
+    def __str__(self) -> str:  # pragma: no cover - console convenience
+        return f"{self.title}\n\n{self.table}"
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays for json.dump."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+def accuracy_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Thin wrapper over :func:`repro.utils.format_table`."""
+    return format_table(headers, rows, title=title)
+
+
+def curve_series(history_accuracies: np.ndarray, every: int = 1) -> list[float]:
+    """Round-accuracy series for 'figure' experiments, as plain floats."""
+    return [float(a) for a in history_accuracies[::every]]

@@ -1,0 +1,91 @@
+"""CLI entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments --scale default --output results/default
+    repro-experiments --scale smoke --only table2,fig6
+
+Reports are printed and saved as ``<output>/<experiment>.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentHarness
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.scales import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the FedFT-EDS paper's tables and figures",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="experiment scale preset (default: default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="directory for .txt/.json reports (default: print only)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    return parser
+
+
+def run_experiments(
+    scale: str,
+    seed: int = 0,
+    only: list[str] | None = None,
+    output: str | None = None,
+    stream=sys.stdout,
+) -> dict[str, "ExperimentReport"]:
+    """Run (a subset of) the experiments and return their reports."""
+    ids = only or list_experiments()
+    harness = ExperimentHarness(scale, seed=seed)
+    context: dict = {}
+    reports = {}
+    for experiment_id in ids:
+        runner, description = get_experiment(experiment_id)
+        start = time.time()
+        print(f"== {experiment_id}: {description}", file=stream)
+        report = runner(harness, context)
+        elapsed = time.time() - start
+        print(report.table, file=stream)
+        print(f"   ({elapsed:.1f}s)\n", file=stream)
+        if output:
+            report.save(output)
+        reports[experiment_id] = report
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in list_experiments():
+            _, description = get_experiment(experiment_id)
+            print(f"{experiment_id:8s} {description}")
+        return 0
+    only = args.only.split(",") if args.only else None
+    run_experiments(args.scale, seed=args.seed, only=only, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Experiment scale presets.
+
+The paper's full configuration (WRN-16-1, 32×32, 50 rounds, CIFAR-sized
+datasets) is hours-to-days of NumPy CPU time, so experiments run at one of
+three presets:
+
+- ``smoke``   — seconds; used by CI tests and the pytest benchmarks.
+- ``default`` — minutes; the scale whose numbers EXPERIMENTS.md records.
+- ``paper``   — the faithful configuration; provided for completeness and
+  for anyone with the patience (or a faster substrate) to run it.
+
+Within a scale, tables II–IV and the ablations use the MLP (the FL dynamics
+under study are architecture-agnostic and the MLP is ~20× cheaper), while
+Table I and the CKA figures — whose subject is *pretraining of a deep
+feature extractor* — use the convolutional model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size knobs for one reproduction scale."""
+
+    name: str
+    image_size: int
+    latent_dim: int
+    # dataset sizes
+    src_classes: int
+    src_train: int
+    c10_classes: int
+    c100_classes: int
+    gsc_classes: int
+    target_train: int
+    test_size: int
+    # federation
+    clients_small: int  # the 10-client experiments
+    clients_large: int  # the 100-client straggler experiments
+    rounds: int
+    local_epochs: int
+    batch_size: int
+    # training
+    pretrain_epochs: int
+    centralized_epochs: int
+    lr: float
+    momentum: float
+    prox_mu: float
+    # models
+    model_main: str  # tables II-IV, ablations
+    model_conv: str  # table I, CKA, entropy distributions
+    conv_channels: tuple[int, int, int]
+    mlp_hidden: tuple[int, int, int]
+    # conv-experiment overrides (conv runs cost ~20x an MLP run)
+    conv_rounds: int
+    conv_train: int
+    conv_test: int
+    conv_pretrain_epochs: int
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        image_size=8,
+        latent_dim=12,
+        src_classes=6,
+        src_train=300,
+        c10_classes=4,
+        c100_classes=6,
+        gsc_classes=4,
+        target_train=240,
+        test_size=120,
+        clients_small=4,
+        clients_large=12,
+        rounds=3,
+        local_epochs=2,
+        batch_size=16,
+        pretrain_epochs=2,
+        centralized_epochs=3,
+        lr=0.1,
+        momentum=0.5,
+        prox_mu=0.1,
+        model_main="mlp",
+        model_conv="cnn",
+        conv_channels=(4, 8, 8),
+        mlp_hidden=(32, 32, 32),
+        conv_rounds=2,
+        conv_train=160,
+        conv_test=80,
+        conv_pretrain_epochs=1,
+    ),
+    "default": Scale(
+        name="default",
+        image_size=12,
+        latent_dim=24,
+        src_classes=20,
+        src_train=4000,
+        c10_classes=10,
+        c100_classes=20,
+        gsc_classes=12,
+        target_train=3000,
+        test_size=1000,
+        clients_small=10,
+        clients_large=100,
+        rounds=30,
+        local_epochs=5,
+        batch_size=32,
+        pretrain_epochs=8,
+        centralized_epochs=20,
+        lr=0.1,
+        momentum=0.5,
+        prox_mu=0.1,
+        model_main="mlp",
+        model_conv="cnn",
+        conv_channels=(8, 16, 24),
+        mlp_hidden=(64, 64, 64),
+        conv_rounds=15,
+        conv_train=2000,
+        conv_test=600,
+        conv_pretrain_epochs=6,
+    ),
+    "paper": Scale(
+        name="paper",
+        image_size=32,
+        latent_dim=64,
+        src_classes=100,
+        src_train=50000,
+        c10_classes=10,
+        c100_classes=100,
+        gsc_classes=35,
+        target_train=50000,
+        test_size=10000,
+        clients_small=10,
+        clients_large=100,
+        rounds=50,
+        local_epochs=5,
+        batch_size=32,
+        pretrain_epochs=30,
+        centralized_epochs=50,
+        lr=0.1,
+        momentum=0.5,
+        prox_mu=0.1,
+        model_main="wrn16",
+        model_conv="wrn16",
+        conv_channels=(16, 32, 64),
+        mlp_hidden=(256, 256, 256),
+        conv_rounds=50,
+        conv_train=50000,
+        conv_test=10000,
+        conv_pretrain_epochs=30,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale preset by name."""
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; expected one of {sorted(SCALES)}")
+    return SCALES[name]

@@ -1,0 +1,57 @@
+"""Federated-learning simulator.
+
+Single-process simulation of a server and a pool of clients, mirroring the
+paper's experimental harness: Dirichlet-partitioned local shards, per-round
+client sampling/stragglers, weighted FedAvg aggregation (Eq. 5), FedProx's
+proximal local solver, per-round data selection, and an analytic timing
+model that converts the exact per-client FLOPs into the "local training
+seconds" used by the learning-efficiency metric.
+"""
+
+from repro.fl.aggregation import weighted_average
+from repro.fl.selection import (
+    DataSelector,
+    EntropySelector,
+    FullSelector,
+    RandomSelector,
+)
+from repro.fl.strategies import LocalSolver, LocalUpdate
+from repro.fl.client import Client
+from repro.fl.server import Server
+from repro.fl.sampling import FractionParticipation, FullParticipation
+from repro.fl.timing import TimingModel
+from repro.fl.rounds import RoundRecord, TrainingHistory, run_federated_training
+from repro.fl.checkpoint import (
+    load_checkpoint,
+    resume_federated_training,
+    save_checkpoint,
+)
+from repro.fl.communication import (
+    campaign_communication,
+    communication_reduction,
+    round_communication,
+)
+
+__all__ = [
+    "weighted_average",
+    "DataSelector",
+    "EntropySelector",
+    "RandomSelector",
+    "FullSelector",
+    "LocalSolver",
+    "LocalUpdate",
+    "Client",
+    "Server",
+    "FullParticipation",
+    "FractionParticipation",
+    "TimingModel",
+    "RoundRecord",
+    "TrainingHistory",
+    "run_federated_training",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resume_federated_training",
+    "round_communication",
+    "campaign_communication",
+    "communication_reduction",
+]

@@ -1,0 +1,44 @@
+"""Server-side aggregation of client updates."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def weighted_average(
+    states: Sequence[dict[str, np.ndarray]],
+    weights: Sequence[float],
+) -> dict[str, np.ndarray]:
+    """Weighted average of state dicts (Eq. 5 of the paper).
+
+    Weights are normalised to sum to one; in FedFT-EDS they are proportional
+    to each client's *selected* sample count |Dᵏ_select|. All states must
+    share the same keys — BN running statistics are averaged alongside
+    trainable parameters, the standard FedAvg convention.
+    """
+    if not states:
+        raise ValueError("no states to aggregate")
+    if len(states) != len(weights):
+        raise ValueError("states and weights length mismatch")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    weights = weights / total
+
+    keys = set(states[0])
+    for i, state in enumerate(states[1:], start=1):
+        if set(state) != keys:
+            raise KeyError(f"state {i} keys differ from state 0")
+
+    out: dict[str, np.ndarray] = {}
+    for key in states[0]:
+        acc = np.zeros_like(states[0][key])
+        for w, state in zip(weights, states):
+            acc += w * state[key]
+        out[key] = acc
+    return out

@@ -1,0 +1,127 @@
+"""Checkpointing: persist and resume a federated campaign.
+
+Long campaigns (the `paper` scale runs for days in NumPy) need restart
+safety. A checkpoint captures the global model state, the round index and
+the run history; resuming reconstructs the server and continues
+``run_federated_training`` from the next round.
+
+Client-side RNG states are *not* captured (numpy generators are not
+portably serialisable), so a resumed run is statistically equivalent but
+not bitwise identical to an uninterrupted one — the docstring of
+:func:`resume_federated_training` spells this out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.rounds import (
+    RoundRecord,
+    TrainingHistory,
+    run_federated_training,
+)
+from repro.fl.sampling import ParticipationModel
+from repro.fl.server import Server
+from repro.fl.timing import TimingModel
+from repro.nn.serialization import load_state, save_state
+
+
+def save_checkpoint(path: str, server: Server, history: TrainingHistory) -> None:
+    """Write the global model and run history under ``path`` (a directory)."""
+    os.makedirs(path, exist_ok=True)
+    save_state(os.path.join(path, "global_state.npz"), server.global_state)
+    payload = {
+        "round_index": server.round_index,
+        "records": [
+            {
+                "round_index": r.round_index,
+                "test_accuracy": r.test_accuracy,
+                "participants": list(r.participants),
+                "selected_samples": r.selected_samples,
+                "client_seconds": r.client_seconds,
+                "cumulative_client_seconds": r.cumulative_client_seconds,
+                "mean_local_loss": r.mean_local_loss,
+            }
+            for r in history.records
+        ],
+    }
+    with open(os.path.join(path, "history.json"), "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_checkpoint(path: str, server: Server) -> TrainingHistory:
+    """Restore the global model into ``server`` and return the history."""
+    state = load_state(os.path.join(path, "global_state.npz"))
+    server.global_state = state
+    server.model.load_state_dict(state)
+    with open(os.path.join(path, "history.json")) as handle:
+        payload = json.load(handle)
+    server.round_index = int(payload["round_index"])
+    history = TrainingHistory()
+    for r in payload["records"]:
+        history.append(
+            RoundRecord(
+                round_index=int(r["round_index"]),
+                test_accuracy=float(r["test_accuracy"]),
+                participants=tuple(int(p) for p in r["participants"]),
+                selected_samples=int(r["selected_samples"]),
+                client_seconds=float(r["client_seconds"]),
+                cumulative_client_seconds=float(r["cumulative_client_seconds"]),
+                mean_local_loss=float(r["mean_local_loss"]),
+            )
+        )
+    return history
+
+
+def resume_federated_training(
+    path: str,
+    server: Server,
+    clients: list[Client],
+    total_rounds: int,
+    seed: int = 0,
+    participation: ParticipationModel | None = None,
+    timing: TimingModel | None = None,
+    eval_every: int = 1,
+) -> TrainingHistory:
+    """Continue a checkpointed campaign up to ``total_rounds``.
+
+    The resumed run is statistically equivalent to the original (same
+    global model, same remaining round count) but not bitwise identical:
+    per-client generator states are not part of the checkpoint. Records
+    from the checkpoint and the continuation are concatenated, with the
+    continuation's round indices and cumulative times offset to follow on.
+    """
+    history = load_checkpoint(path, server)
+    done = server.round_index
+    if done >= total_rounds:
+        return history
+    continuation = run_federated_training(
+        server,
+        clients,
+        rounds=total_rounds - done,
+        seed=seed + done,
+        participation=participation,
+        timing=timing,
+        eval_every=eval_every,
+    )
+    offset_seconds = history.total_client_seconds
+    for record in continuation.records:
+        history.append(
+            RoundRecord(
+                round_index=record.round_index + done,
+                test_accuracy=record.test_accuracy,
+                participants=record.participants,
+                selected_samples=record.selected_samples,
+                client_seconds=record.client_seconds,
+                cumulative_client_seconds=(
+                    record.cumulative_client_seconds + offset_seconds
+                ),
+                mean_local_loss=record.mean_local_loss,
+            )
+        )
+    server.round_index = total_rounds
+    return history

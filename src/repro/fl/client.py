@@ -1,0 +1,103 @@
+"""Client logic: per-round data selection followed by local training.
+
+Clients are lightweight descriptors (shard + rng + config); the actual
+network weights live in a shared *workspace model* owned by the server and
+loaded with the broadcast global state before each client runs. This mirrors
+the paper's sequential simulation while avoiding one model copy per client.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.selection import DataSelector
+from repro.fl.strategies import LocalSolver, LocalUpdate
+from repro.fl.timing import TimingModel
+from repro.nn.segmented import SegmentedModel
+from repro.nn.serialization import theta_keys
+
+
+class Client:
+    """One federated client with a fixed local shard.
+
+    ``selection_fraction`` is the paper's ``Pds``; the selector decides *how*
+    the fraction is chosen (entropy / random / all).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        selector: DataSelector,
+        solver: LocalSolver,
+        selection_fraction: float,
+        epochs: int,
+        rng: np.random.Generator,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty shard")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 < selection_fraction <= 1.0:
+            raise ValueError("selection_fraction must be in (0, 1]")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.selector = selector
+        self.solver = solver
+        self.selection_fraction = selection_fraction
+        self.epochs = epochs
+        self.rng = rng
+
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def run_round(
+        self,
+        model: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        timing: TimingModel | None = None,
+    ) -> LocalUpdate:
+        """Execute one local round in the given workspace model.
+
+        Loads the broadcast state, re-selects training data (dynamic
+        selection, §IV-A3), fine-tunes the trainable part, and returns the
+        updated θ together with the selected count used as the aggregation
+        weight.
+        """
+        model.load_state_dict(global_state)
+        # Selection scores with the *received* global model, eval mode.
+        indices = self.selector.select(
+            model, self.dataset, self.selection_fraction, self.rng
+        )
+        selected = self.dataset.subset(indices)
+        model.set_partial_train_mode()
+        reference = (
+            {k: global_state[k] for k, p in model.named_parameters() if p.requires_grad}
+            if self.solver.prox_mu > 0
+            else None
+        )
+        mean_loss = self.solver.run(
+            model, selected, self.epochs, self.rng, global_reference=reference
+        )
+        model.eval()
+        state = model.state_dict()
+        keys = theta_keys(model)
+        update = LocalUpdate(
+            theta={k: state[k] for k in keys},
+            num_selected=len(selected),
+            num_local=len(self.dataset),
+            mean_loss=mean_loss,
+        )
+        if timing is not None:
+            in_shape = self.dataset.arrays()[0].shape[1:]
+            update.train_seconds = timing.round_seconds(
+                model,
+                tuple(in_shape),
+                num_selected=len(selected),
+                num_local=len(self.dataset),
+                epochs=self.epochs,
+                selection_forward=self.selector.requires_forward,
+                client_id=self.client_id,
+            )
+        return update

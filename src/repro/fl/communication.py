@@ -1,0 +1,111 @@
+"""Communication-cost accounting (paper §III-D).
+
+Because ϕ is frozen after pretraining, FedFT methods only exchange the
+upper part θ each round: the server broadcasts θᵗ and each participant
+uploads θᵗ⁺¹ₖ. Full-model methods exchange every parameter both ways. This
+module quantifies that saving exactly, from the live model's parameter
+sets.
+
+All counts are in scalar parameters; ``bytes_per_scalar`` converts to bytes
+(8 for the float64 used by this substrate, 4 for float32 deployments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.segmented import SegmentedModel
+from repro.nn.serialization import theta_keys
+
+
+@dataclass(frozen=True)
+class RoundCommunication:
+    """Per-round traffic between the server and one client."""
+
+    download_parameters: int  # server -> client
+    upload_parameters: int  # client -> server
+
+    @property
+    def total_parameters(self) -> int:
+        return self.download_parameters + self.upload_parameters
+
+    def bytes(self, bytes_per_scalar: int = 8) -> int:
+        if bytes_per_scalar <= 0:
+            raise ValueError("bytes_per_scalar must be positive")
+        return self.total_parameters * bytes_per_scalar
+
+
+@dataclass(frozen=True)
+class CampaignCommunication:
+    """Traffic totals for a whole federated campaign."""
+
+    per_round: RoundCommunication
+    initial_download_parameters: int  # the one-off full-model broadcast
+    rounds: int
+    participants_per_round: int
+
+    @property
+    def total_parameters(self) -> int:
+        recurring = (
+            self.per_round.total_parameters
+            * self.rounds
+            * self.participants_per_round
+        )
+        initial = self.initial_download_parameters * self.participants_per_round
+        return recurring + initial
+
+    def bytes(self, bytes_per_scalar: int = 8) -> int:
+        if bytes_per_scalar <= 0:
+            raise ValueError("bytes_per_scalar must be positive")
+        return self.total_parameters * bytes_per_scalar
+
+
+def _state_size(model: SegmentedModel, keys: list[str]) -> int:
+    state = model.state_dict()
+    return int(sum(state[k].size for k in keys))
+
+
+def round_communication(model: SegmentedModel) -> RoundCommunication:
+    """Per-round traffic of the model's *current* ϕ/θ split.
+
+    With everything trainable this is the FedAvg cost; with a partial split
+    only θ (trainable parameters plus the BN buffers travelling with them)
+    moves in each direction.
+    """
+    keys = theta_keys(model)
+    size = _state_size(model, keys)
+    return RoundCommunication(download_parameters=size, upload_parameters=size)
+
+
+def campaign_communication(
+    model: SegmentedModel, rounds: int, participants_per_round: int
+) -> CampaignCommunication:
+    """Total campaign traffic, including the one-off full-model broadcast.
+
+    Every client must receive ϕ once (the pretrained extractor ships with
+    the initial global model); afterwards only θ circulates.
+    """
+    if rounds <= 0 or participants_per_round <= 0:
+        raise ValueError("rounds and participants_per_round must be positive")
+    per_round = round_communication(model)
+    full = int(sum(v.size for v in model.state_dict().values()))
+    initial_phi = full - per_round.download_parameters
+    return CampaignCommunication(
+        per_round=per_round,
+        initial_download_parameters=initial_phi,
+        rounds=rounds,
+        participants_per_round=participants_per_round,
+    )
+
+
+def communication_reduction(model: SegmentedModel) -> float:
+    """Per-round traffic of the current split relative to full-model FL.
+
+    E.g. 0.25 means the partial split moves a quarter of FedAvg's traffic
+    per round.
+    """
+    partial = round_communication(model).total_parameters
+    full = 2 * int(sum(v.size for v in model.state_dict().values()))
+    if full == 0:
+        raise ValueError("model has no parameters")
+    return partial / full

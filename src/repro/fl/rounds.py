@@ -1,0 +1,135 @@
+"""The federated training loop (Algorithm 1) and its run history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.sampling import FullParticipation, ParticipationModel
+from repro.fl.server import Server
+from repro.fl.timing import TimingModel
+from repro.utils import make_rng
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observed in one communication round."""
+
+    round_index: int
+    test_accuracy: float
+    participants: tuple[int, ...]
+    selected_samples: int
+    client_seconds: float
+    cumulative_client_seconds: float
+    mean_local_loss: float
+
+
+@dataclass
+class TrainingHistory:
+    """Round-by-round log of a federated run."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([r.test_accuracy for r in self.records])
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round_index for r in self.records])
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.accuracies.max())
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.records[-1].test_accuracy)
+
+    @property
+    def total_client_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.records[-1].cumulative_client_seconds)
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index reaching ``target`` accuracy, or None."""
+        for record in self.records:
+            if record.test_accuracy >= target:
+                return record.round_index
+        return None
+
+    def seconds_to_accuracy(self, target: float) -> float | None:
+        """Cumulative client seconds when ``target`` accuracy is first hit."""
+        for record in self.records:
+            if record.test_accuracy >= target:
+                return record.cumulative_client_seconds
+        return None
+
+
+def run_federated_training(
+    server: Server,
+    clients: list[Client],
+    rounds: int,
+    seed: int = 0,
+    participation: ParticipationModel | None = None,
+    timing: TimingModel | None = None,
+    eval_every: int = 1,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """Run ``rounds`` communication rounds of Algorithm 1.
+
+    Each round: sample participants → every participant selects data and
+    fine-tunes locally in the server's workspace model → the server fuses
+    the uploaded θ's weighted by selected counts → periodic evaluation.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    if not clients:
+        raise ValueError("client pool is empty")
+    participation = participation or FullParticipation()
+    sampling_rng = make_rng(seed)
+    history = TrainingHistory()
+    cumulative_seconds = 0.0
+    for round_index in range(1, rounds + 1):
+        chosen = participation.participants(
+            round_index, len(clients), sampling_rng
+        )
+        broadcast = server.broadcast()
+        updates = [
+            clients[cid].run_round(server.model, broadcast, timing=timing)
+            for cid in chosen
+        ]
+        server.aggregate(updates)
+        round_seconds = float(sum(u.train_seconds for u in updates))
+        cumulative_seconds += round_seconds
+        if round_index % eval_every == 0 or round_index == rounds:
+            accuracy = server.evaluate()
+        else:
+            accuracy = history.records[-1].test_accuracy if history.records else 0.0
+        record = RoundRecord(
+            round_index=round_index,
+            test_accuracy=accuracy,
+            participants=tuple(int(c) for c in chosen),
+            selected_samples=int(sum(u.num_selected for u in updates)),
+            client_seconds=round_seconds,
+            cumulative_client_seconds=cumulative_seconds,
+            mean_local_loss=float(np.mean([u.mean_loss for u in updates])),
+        )
+        history.append(record)
+        if verbose:  # pragma: no cover - console convenience
+            print(
+                f"round {round_index:3d}: acc={accuracy:.4f} "
+                f"participants={len(chosen)} "
+                f"selected={record.selected_samples}"
+            )
+    return history

@@ -1,0 +1,114 @@
+"""Per-round local data selection strategies.
+
+The paper's methods differ only in *which* local samples feed the local
+update:
+
+- :class:`EntropySelector` — the contribution: score every sample with the
+  Shannon entropy of its hardened-softmax output (Eqs. 2–3, 6) and keep the
+  top fraction. Costs one forward pass over all local data.
+- :class:`RandomSelector` — the RDS baselines: a fresh uniform subset each
+  round (paper §IV-A3).
+- :class:`FullSelector` — no selection (Pds = 100%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+def selected_count(n: int, fraction: float) -> int:
+    """Number of samples kept from ``n`` at a selection fraction."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"selection fraction must be in (0, 1], got {fraction}")
+    return max(1, int(round(fraction * n)))
+
+
+def batched_logits(
+    model: Module, x: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Eval-mode forward pass in batches; restores the previous mode."""
+    was_training = model.training
+    model.eval()
+    outputs = [model(x[i : i + batch_size]) for i in range(0, len(x), batch_size)]
+    if was_training:
+        model.train()
+    return np.concatenate(outputs, axis=0)
+
+
+class DataSelector:
+    """Interface: pick the local sample indices used for this round."""
+
+    #: display name used in reports
+    name = "base"
+    #: whether scoring requires a forward pass over all local data
+    #: (drives the selection-overhead term of the timing model)
+    requires_forward = False
+
+    def select(
+        self,
+        model: Module,
+        dataset: Dataset,
+        fraction: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class FullSelector(DataSelector):
+    """Use every local sample (no workload reduction)."""
+
+    name = "all"
+    requires_forward = False
+
+    def select(self, model, dataset, fraction, rng):
+        if fraction != 1.0:
+            raise ValueError("FullSelector only supports fraction=1.0")
+        return np.arange(len(dataset))
+
+
+class RandomSelector(DataSelector):
+    """Uniform random subset, redrawn each round (the RDS baselines)."""
+
+    name = "rds"
+    requires_forward = False
+
+    def select(self, model, dataset, fraction, rng):
+        n = len(dataset)
+        k = selected_count(n, fraction)
+        return np.sort(rng.choice(n, size=k, replace=False))
+
+
+class EntropySelector(DataSelector):
+    """Entropy-based data selection with hardened softmax (the paper's EDS).
+
+    ``temperature`` < 1 hardens the softmax (Eq. 6): confident samples'
+    entropy collapses toward zero, making the genuinely uncertain ones stand
+    out. The paper's default is 0.1.
+    """
+
+    name = "eds"
+    requires_forward = True
+
+    def __init__(self, temperature: float = 0.1, batch_size: int = 256):
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = temperature
+        self.batch_size = batch_size
+
+    def scores(self, model: Module, dataset: Dataset) -> np.ndarray:
+        """Per-sample entropy under the hardened softmax (higher = selected)."""
+        x, _ = dataset.arrays()
+        logits = batched_logits(model, x, self.batch_size)
+        return F.entropy_from_logits(logits, self.temperature)
+
+    def select(self, model, dataset, fraction, rng):
+        n = len(dataset)
+        k = selected_count(n, fraction)
+        entropy = self.scores(model, dataset)
+        # Highest-entropy samples are the "harder but more valuable" ones.
+        top = np.argpartition(entropy, n - k)[n - k :]
+        return np.sort(top)

@@ -1,0 +1,60 @@
+"""Server: global model custody, broadcast, aggregation, evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.aggregation import weighted_average
+from repro.fl.selection import batched_logits
+from repro.fl.strategies import LocalUpdate
+from repro.nn import functional as F
+from repro.nn.segmented import SegmentedModel
+
+
+class Server:
+    """Holds the global model ``w = {ϕ, θ}`` and applies Eq. 5 updates.
+
+    The server's model doubles as the shared workspace in which clients run
+    their local rounds; ``global_state`` snapshots make that safe.
+    """
+
+    def __init__(self, model: SegmentedModel, test_set: Dataset):
+        self.model = model
+        self.test_set = test_set
+        self.global_state = model.state_dict()
+        self.round_index = 0
+
+    def broadcast(self) -> dict[str, np.ndarray]:
+        """State sent to clients this round (full model; only θ changes)."""
+        return self.global_state
+
+    def communicated_parameters(self) -> int:
+        """Scalar count actually exchanged per client per round: |θ|.
+
+        ϕ never changes after pretraining, so only the upper part needs to
+        travel (paper §III-D) — this drives the communication accounting.
+        """
+        return sum(
+            p.size for _, p in self.model.named_parameters() if p.requires_grad
+        )
+
+    def aggregate(self, updates: list[LocalUpdate]) -> None:
+        """Fuse client θ's weighted by selected counts and refresh ϕ∪θ."""
+        if not updates:
+            raise ValueError("no client updates to aggregate")
+        theta = weighted_average(
+            [u.theta for u in updates],
+            [u.num_selected for u in updates],
+        )
+        merged = dict(self.global_state)
+        merged.update(theta)
+        self.global_state = merged
+        self.round_index += 1
+
+    def evaluate(self, batch_size: int = 512) -> float:
+        """Top-1 accuracy of the current global model on the test set."""
+        self.model.load_state_dict(self.global_state)
+        x, y = self.test_set.arrays()
+        logits = batched_logits(self.model, x, batch_size)
+        return F.accuracy(logits, y)

@@ -1,0 +1,93 @@
+"""Local update solvers: plain SGD (FedAvg family) and FedProx.
+
+A :class:`LocalSolver` runs ``E`` epochs of mini-batch SGD on a client's
+selected data. With ``prox_mu > 0`` it adds FedProx's proximal gradient
+``μ (w − w_global)`` on every trainable parameter, pulling local updates
+back toward the global model (Li et al., 2020).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import DataLoader, Dataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+
+@dataclass
+class LocalUpdate:
+    """Result of one client's local round."""
+
+    theta: dict[str, np.ndarray]
+    num_selected: int
+    num_local: int
+    train_seconds: float = 0.0
+    mean_loss: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+
+class LocalSolver:
+    """Mini-batch SGD over the selected local data, optionally proximal."""
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        momentum: float = 0.5,
+        weight_decay: float = 0.0,
+        prox_mu: float = 0.0,
+        batch_size: int = 32,
+    ):
+        if prox_mu < 0:
+            raise ValueError("prox_mu must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.prox_mu = prox_mu
+        self.batch_size = batch_size
+
+    def run(
+        self,
+        model: Module,
+        dataset: Dataset,
+        epochs: int,
+        rng: np.random.Generator,
+        global_reference: dict[str, np.ndarray] | None = None,
+    ) -> float:
+        """Train ``model`` in place for ``epochs`` epochs; returns mean loss.
+
+        ``global_reference`` (a state dict snapshot of the broadcast model)
+        is required when ``prox_mu > 0``.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.prox_mu > 0 and global_reference is None:
+            raise ValueError("FedProx (prox_mu > 0) needs the global reference")
+        trainable = [
+            (name, p) for name, p in model.named_parameters() if p.requires_grad
+        ]
+        if not trainable:
+            raise ValueError("model has no trainable parameters")
+        optimizer = SGD(
+            [p for _, p in trainable],
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        loss_fn = CrossEntropyLoss()
+        loader = DataLoader(dataset, self.batch_size, shuffle=True, rng=rng)
+        losses: list[float] = []
+        for _epoch in range(epochs):
+            for xb, yb in loader:
+                logits = model(xb)
+                losses.append(loss_fn.forward(logits, yb))
+                model.zero_grad()
+                model.backward(loss_fn.backward())
+                if self.prox_mu > 0:
+                    for name, p in trainable:
+                        p.grad += self.prox_mu * (p.data - global_reference[name])
+                optimizer.step()
+        return float(np.mean(losses)) if losses else 0.0

@@ -1,0 +1,70 @@
+"""Analytic client-time model.
+
+The paper reports learning efficiency as best accuracy divided by total
+client training *seconds*. Wall-clock time on the authors' testbed is not
+reproducible, so time is simulated from the exact FLOPs of the configured
+model (see DESIGN.md substitutions):
+
+- training one sample costs a full forward plus a backward truncated below
+  the lowest trainable segment — this is where partial fine-tuning saves;
+- entropy (and any learned) selection additionally costs one forward pass
+  over *all* local samples (the paper's stated selection overhead);
+- heterogeneous device speeds are per-client multipliers.
+
+Only *relative* times matter for every conclusion drawn from the metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn import profiling
+from repro.nn.segmented import SegmentedModel
+
+
+@dataclass
+class TimingModel:
+    """Converts FLOPs into simulated seconds for one client round."""
+
+    flops_per_second: float = 1e9
+    #: multiplier >= 1 slows a device down; keyed by client id
+    speed_multipliers: dict[int, float] | None = None
+
+    def __post_init__(self):
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.speed_multipliers is not None:
+            bad = {k: v for k, v in self.speed_multipliers.items() if v <= 0}
+            if bad:
+                raise ValueError(f"non-positive speed multipliers: {bad}")
+
+    def _multiplier(self, client_id: int) -> float:
+        if self.speed_multipliers is None:
+            return 1.0
+        return self.speed_multipliers.get(client_id, 1.0)
+
+    def round_seconds(
+        self,
+        model: SegmentedModel,
+        in_shape: tuple,
+        num_selected: int,
+        num_local: int,
+        epochs: int,
+        selection_forward: bool,
+        client_id: int = 0,
+    ) -> float:
+        """Simulated seconds for one local round of one client."""
+        if num_selected < 0 or num_local < 0 or epochs <= 0:
+            raise ValueError("counts must be non-negative and epochs positive")
+        train_flops = (
+            profiling.training_flops_per_sample(model, in_shape)
+            * num_selected
+            * epochs
+        )
+        selection_flops = 0
+        if selection_forward:
+            selection_flops = (
+                profiling.selection_flops_per_sample(model, in_shape) * num_local
+            )
+        total = train_flops + selection_flops
+        return total / self.flops_per_second * self._multiplier(client_id)

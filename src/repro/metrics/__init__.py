@@ -1,0 +1,25 @@
+"""Evaluation metrics used by the paper's analysis.
+
+- :mod:`repro.metrics.cka` — Centred Kernel Alignment between client
+  models' representations (Figs. 2–4).
+- :mod:`repro.metrics.efficiency` — learning efficiency: best accuracy per
+  simulated client-second (Figs. 6–7).
+- :mod:`repro.metrics.entropy_stats` — entropy-distribution summaries under
+  different softmax temperatures (Fig. 1).
+- :mod:`repro.metrics.accuracy` — top-1 evaluation helpers.
+"""
+
+from repro.metrics.accuracy import evaluate_accuracy
+from repro.metrics.cka import linear_cka, pairwise_client_cka
+from repro.metrics.efficiency import LearningEfficiency, learning_efficiency
+from repro.metrics.entropy_stats import entropy_distribution, entropy_summary
+
+__all__ = [
+    "evaluate_accuracy",
+    "linear_cka",
+    "pairwise_client_cka",
+    "LearningEfficiency",
+    "learning_efficiency",
+    "entropy_distribution",
+    "entropy_summary",
+]

@@ -1,0 +1,36 @@
+"""Model evaluation helpers."""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.fl.selection import batched_logits
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+def evaluate_accuracy(
+    model: Module, dataset: Dataset, batch_size: int = 512
+) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode, batched)."""
+    x, y = dataset.arrays()
+    logits = batched_logits(model, x, batch_size)
+    return F.accuracy(logits, y)
+
+
+def per_class_accuracy(
+    model: Module, dataset: Dataset, num_classes: int, batch_size: int = 512
+) -> list[float]:
+    """Top-1 accuracy per class (useful for non-IID drift diagnostics)."""
+    import numpy as np
+
+    x, y = dataset.arrays()
+    logits = batched_logits(model, x, batch_size)
+    preds = np.argmax(logits, axis=-1)
+    result = []
+    for cls in range(num_classes):
+        mask = y == cls
+        if mask.sum() == 0:
+            result.append(float("nan"))
+        else:
+            result.append(float(np.mean(preds[mask] == cls)))
+    return result

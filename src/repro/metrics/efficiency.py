@@ -1,0 +1,46 @@
+"""Learning efficiency: accuracy points per client-second (paper §IV-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fl.rounds import TrainingHistory
+
+
+@dataclass(frozen=True)
+class LearningEfficiency:
+    """Best accuracy, total client time, and their ratio for one method."""
+
+    method: str
+    best_accuracy: float
+    total_client_seconds: float
+    efficiency: float  # accuracy-% per second
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return (
+            f"{self.method}: best={100 * self.best_accuracy:.2f}% "
+            f"time={self.total_client_seconds:.1f}s "
+            f"eff={self.efficiency:.4f} %/s"
+        )
+
+
+def learning_efficiency(method: str, history: TrainingHistory) -> LearningEfficiency:
+    """Compute the paper's metric from a run history.
+
+    Efficiency = best test accuracy (in percent) divided by the total
+    simulated training seconds across all participating clients, including
+    any selection overhead.
+    """
+    seconds = history.total_client_seconds
+    if seconds <= 0:
+        raise ValueError(
+            "history has no accumulated client time; run training with a "
+            "TimingModel to use the efficiency metric"
+        )
+    best = history.best_accuracy
+    return LearningEfficiency(
+        method=method,
+        best_accuracy=best,
+        total_client_seconds=seconds,
+        efficiency=100.0 * best / seconds,
+    )

@@ -1,0 +1,67 @@
+"""Small convolutional network with the standard segment structure.
+
+A middle ground between :class:`repro.nn.mlp.MLP` and the Wide ResNet:
+three conv stages map onto ``low``/``mid``/``up`` so all partial-fine-tuning
+levels are meaningful, at a fraction of the WRN cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Sequential
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import GlobalAvgPool2d, MaxPool2d
+from repro.nn.segmented import SegmentedModel
+
+
+def _stage(
+    in_ch: int, out_ch: int, rng: np.random.Generator, pool: bool
+) -> Sequential:
+    layers = [
+        Conv2d(in_ch, out_ch, 3, rng, padding=1, bias=False),
+        BatchNorm2d(out_ch),
+        ReLU(),
+    ]
+    if pool:
+        layers.append(MaxPool2d(2))
+    return Sequential(*layers)
+
+
+class SmallConvNet(SegmentedModel):
+    """Conv-BN-ReLU(-Pool) ×3 with a linear classifier head.
+
+    ``channels`` gives the width of the three stages. The two pooling steps
+    require the input spatial size to be divisible by 4.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        rng: np.random.Generator,
+        in_channels: int = 3,
+        channels: tuple[int, int, int] = (16, 32, 64),
+    ):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if len(channels) != 3:
+            raise ValueError("channels must have three entries (low/mid/up)")
+        self.num_classes = num_classes
+        self.stem = Sequential(
+            Conv2d(in_channels, channels[0], 3, rng, padding=1, bias=False),
+            BatchNorm2d(channels[0]),
+            ReLU(),
+        )
+        self.low = _stage(channels[0], channels[0], rng, pool=True)
+        self.mid = _stage(channels[0], channels[1], rng, pool=True)
+        self.up = _stage(channels[1], channels[2], rng, pool=False)
+        self.head = Sequential(GlobalAvgPool2d(), Linear(channels[2], num_classes, rng))
+
+    def new_head(self, num_classes: int, rng: np.random.Generator) -> Sequential:
+        """Fresh classifier head for ``num_classes`` (source → target swap)."""
+        in_features = self.head.layers[-1].in_features
+        return Sequential(GlobalAvgPool2d(), Linear(in_features, num_classes, rng))

@@ -1,0 +1,141 @@
+"""2-D convolution implemented with im2col/col2im.
+
+The im2col transform rewrites convolution as one large matrix multiply,
+which is the only way to get acceptable throughput from NumPy. Gradients
+are exact and verified against numerical differentiation in
+``tests/test_nn_gradients.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces empty output: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``(n, c, h, w)`` into ``(n, c*kh*kw, oh*ow)`` patch columns."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow), (oh, ow)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch-column gradients back to an input gradient (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    dcols = dcols.reshape(n, c, kh, kw, oh, ow)
+    dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dcols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            dx[:, :, i:i_end:stride, j:j_end:stride] += dcols[:, :, i, j]
+    if padding:
+        dx = dx[:, :, padding : padding + h, padding : padding + w]
+    return dx
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution, NCHW layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv dimensions must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal(
+                rng,
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+            )
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (n, {self.in_channels}, h, w), got {x.shape}"
+            )
+        k = self.kernel_size
+        cols, (oh, ow) = im2col(x, k, k, self.stride, self.padding)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+        # cols are only needed for the weight gradient; drop them when frozen.
+        self._cache = (x.shape, cols if self.weight.requires_grad else None, oh, ow)
+        out = out.reshape(x.shape[0], self.out_channels, oh, ow)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :, None, None]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols, oh, ow = self._cache
+        n = x_shape[0]
+        g = grad_out.reshape(n, self.out_channels, oh * ow)
+        if self.weight.requires_grad:
+            dw = np.einsum("nop,nkp->ok", g, cols, optimize=True)
+            self.weight.grad += dw.reshape(self.weight.data.shape)
+        if self.bias is not None and self.bias.requires_grad:
+            self.bias.grad += g.sum(axis=(0, 2))
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        dcols = np.einsum("ok,nop->nkp", w_mat, g, optimize=True)
+        k = self.kernel_size
+        return col2im(dcols, x_shape, k, k, self.stride, self.padding)
+
+    def flops_per_sample(self, in_shape: tuple) -> tuple[int, tuple]:
+        c, h, w = in_shape
+        oh = conv_out_size(h, self.kernel_size, self.stride, self.padding)
+        ow = conv_out_size(w, self.kernel_size, self.stride, self.padding)
+        flops = 2 * self.out_channels * c * self.kernel_size**2 * oh * ow
+        return flops, (self.out_channels, oh, ow)

@@ -1,0 +1,27 @@
+"""Flatten layer bridging convolutional and fully-connected stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Reshape ``(n, *dims)`` to ``(n, prod(dims))``."""
+
+    def __init__(self):
+        super().__init__()
+        self._in_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._in_shape)
+
+    def flops_per_sample(self, in_shape: tuple) -> tuple[int, tuple]:
+        return 0, (int(np.prod(in_shape)),)

@@ -1,0 +1,77 @@
+"""Stateless numerical helpers shared across the library.
+
+These back both the training losses and the paper's entropy-based data
+selection (softmax with a temperature, Shannon entropy per sample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Clamp for log() arguments so entropy terms never produce -inf.
+_EPS = 1e-12
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(n, num_classes)`` float one-hot encoding of integer labels."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Numerically stable softmax over the last axis.
+
+    ``temperature`` < 1 is the paper's *hardened* softmax (Eq. 6): it
+    sharpens the distribution so a small confidence increase collapses the
+    entropy, pushing confident samples out of the selected set. ``> 1``
+    is the softened variant used in knowledge distillation.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    z = np.asarray(logits, dtype=np.float64) / temperature
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    z = np.asarray(logits, dtype=np.float64) / temperature
+    z = z - z.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+def entropy(probs: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) per row of a probability matrix (Eq. 3)."""
+    p = np.asarray(probs, dtype=np.float64)
+    return -np.sum(p * np.log(np.clip(p, _EPS, None)), axis=-1)
+
+
+def entropy_from_logits(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Per-sample entropy of the (possibly hardened) softmax of ``logits``.
+
+    Computed via log-softmax so extreme logits at small temperatures stay
+    finite.
+    """
+    logp = log_softmax(logits, temperature)
+    p = np.exp(logp)
+    return -np.sum(p * logp, axis=-1)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of a logits matrix against integer labels."""
+    preds = np.argmax(logits, axis=-1)
+    labels = np.asarray(labels)
+    if preds.shape != labels.shape:
+        raise ValueError("logits/labels batch size mismatch")
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(preds == labels))

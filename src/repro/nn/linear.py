@@ -1,0 +1,56 @@
+"""Fully-connected layer with explicit backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` for inputs of shape ``(n, in_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal(rng, (in_features, out_features), fan_in=in_features)
+        )
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (n, {self.in_features}), got {x.shape}"
+            )
+        # The input is only needed for the weight gradient; skip the copy
+        # entirely when this layer is frozen.
+        self._cache_x = x if self.weight.requires_grad else None
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self.weight.requires_grad:
+            if self._cache_x is None:
+                raise RuntimeError("backward called before forward")
+            self.weight.grad += self._cache_x.T @ grad_out
+        if self.bias is not None and self.bias.requires_grad:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+    def flops_per_sample(self, in_shape: tuple) -> tuple[int, tuple]:
+        flops = 2 * self.in_features * self.out_features
+        return flops, (self.out_features,)

@@ -1,0 +1,61 @@
+"""FLOPs accounting used by the federated timing model.
+
+The paper measures client training *time*; we simulate it from exact FLOPs
+counts (see DESIGN.md, substitutions). The key structural facts preserved:
+
+- a forward pass traverses the whole model (frozen layers included);
+- the backward pass only traverses the segments at or above the lowest
+  trainable one, which is where partial fine-tuning saves compute;
+- entropy/random data selection costs one forward pass over all local data.
+"""
+
+from __future__ import annotations
+
+from repro.nn.segmented import SEGMENT_ORDER, SegmentedModel
+
+#: Conventional backward/forward cost ratio for SGD training.
+BACKWARD_FORWARD_RATIO = 2.0
+
+
+def forward_flops_per_sample(model: SegmentedModel, in_shape: tuple) -> int:
+    """Exact forward FLOPs for one sample through the whole model."""
+    flops, _ = model.flops_per_sample(in_shape)
+    return flops
+
+
+def segment_forward_flops(
+    model: SegmentedModel, in_shape: tuple
+) -> dict[str, int]:
+    """Per-segment forward FLOPs for one sample."""
+    out: dict[str, int] = {}
+    shape = in_shape
+    for name, segment in model.segments():
+        flops, shape = segment.flops_per_sample(shape)
+        out[name] = flops
+    return out
+
+
+def training_flops_per_sample(model: SegmentedModel, in_shape: tuple) -> int:
+    """FLOPs for one training sample: full forward + truncated backward.
+
+    The backward pass costs ``BACKWARD_FORWARD_RATIO`` × the forward FLOPs of
+    every segment from the lowest trainable one upward; segments below the
+    frontier are never back-propagated through (``SegmentedModel.backward``).
+    """
+    per_segment = segment_forward_flops(model, in_shape)
+    total_forward = sum(per_segment.values())
+    trainable = {name for name, seg in model.segments() if seg.has_trainable()}
+    if not trainable:
+        return total_forward
+    frontier = min(SEGMENT_ORDER.index(name) for name in trainable)
+    backward = sum(
+        per_segment[name]
+        for i, name in enumerate(SEGMENT_ORDER)
+        if i >= frontier
+    )
+    return int(total_forward + BACKWARD_FORWARD_RATIO * backward)
+
+
+def selection_flops_per_sample(model: SegmentedModel, in_shape: tuple) -> int:
+    """FLOPs to score one sample for data selection: a single forward pass."""
+    return forward_flops_per_sample(model, in_shape)

@@ -1,0 +1,76 @@
+"""Pre-activation residual block as used by Wide ResNets (WRN)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+
+
+class BasicBlock(Module):
+    """WRN pre-activation basic block: BN-ReLU-Conv-BN-ReLU-Conv + shortcut.
+
+    When the input and output shapes differ, the shortcut is a strided 1×1
+    convolution applied to the pre-activated input, following Zagoruyko &
+    Komodakis (2016).
+    """
+
+    def __init__(
+        self,
+        in_planes: int,
+        out_planes: int,
+        stride: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.equal_in_out = in_planes == out_planes and stride == 1
+        self.bn1 = BatchNorm2d(in_planes)
+        self.relu1 = ReLU()
+        self.conv1 = Conv2d(
+            in_planes, out_planes, 3, rng, stride=stride, padding=1, bias=False
+        )
+        self.bn2 = BatchNorm2d(out_planes)
+        self.relu2 = ReLU()
+        self.conv2 = Conv2d(
+            out_planes, out_planes, 3, rng, stride=1, padding=1, bias=False
+        )
+        self.shortcut = (
+            None
+            if self.equal_in_out
+            else Conv2d(
+                in_planes, out_planes, 1, rng, stride=stride, padding=0, bias=False
+            )
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pre = self.relu1(self.bn1(x))
+        out = self.conv2(self.relu2(self.bn2(self.conv1(pre))))
+        residual = x if self.equal_in_out else self.shortcut(pre)
+        return out + residual
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Main branch: conv2 <- relu2 <- bn2 <- conv1, giving grad wrt `pre`.
+        grad_pre = self.conv1.backward(
+            self.bn2.backward(self.relu2.backward(self.conv2.backward(grad_out)))
+        )
+        if self.equal_in_out:
+            grad_x_direct = grad_out
+        else:
+            grad_pre = grad_pre + self.shortcut.backward(grad_out)
+            grad_x_direct = 0.0
+        grad_x = self.bn1.backward(self.relu1.backward(grad_pre))
+        return grad_x + grad_x_direct
+
+    def flops_per_sample(self, in_shape: tuple) -> tuple[int, tuple]:
+        total, shape = self.bn1.flops_per_sample(in_shape)
+        for layer in (self.relu1, self.conv1, self.bn2, self.relu2, self.conv2):
+            flops, shape = layer.flops_per_sample(shape)
+            total += flops
+        if self.shortcut is not None:
+            flops, _ = self.shortcut.flops_per_sample(in_shape)
+            total += flops
+        total += int(np.prod(shape))  # the residual addition
+        return total, shape

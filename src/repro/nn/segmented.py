@@ -1,0 +1,120 @@
+"""Segmented models: the structural hook for partial fine-tuning.
+
+The paper splits a model into a frozen feature extractor ϕ and a trainable
+upper part θ, selecting the split point by named layer group ("fine-tune
+from layer 3"). :class:`SegmentedModel` formalises that: a model is an
+ordered chain of named segments ``stem → low → mid → up → head``, and
+freezing/truncated-backward/activation-collection all key off segment names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Segment order shared by every model in this project.
+SEGMENT_ORDER = ("stem", "low", "mid", "up", "head")
+
+#: Paper fine-tuning levels → the lowest segment that remains trainable.
+#: "full" trains everything; "large" freezes stem+low; "moderate" (the paper
+#: default, "fine-tune from layer 3") freezes stem+low+mid; "classifier"
+#: trains only the head.
+FINE_TUNE_LEVELS = {
+    "full": "stem",
+    "large": "mid",
+    "moderate": "up",
+    "classifier": "head",
+}
+
+
+class SegmentedModel(Module):
+    """A model made of the ordered segments ``stem, low, mid, up, head``.
+
+    Subclasses assign the five segments as attributes (each a
+    :class:`Module`); this base class provides forward/backward with
+    backward truncation below the trainable frontier, activation collection
+    for CKA, and level-based freezing.
+    """
+
+    def segments(self) -> list[tuple[str, Module]]:
+        return [(name, getattr(self, name)) for name in SEGMENT_ORDER]
+
+    # -- compute -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for _, segment in self.segments():
+            x = segment(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray | None:
+        """Backward pass that stops below the lowest trainable segment."""
+        segs = self.segments()
+        lowest = None
+        for i, (_, segment) in enumerate(segs):
+            if segment.has_trainable():
+                lowest = i
+                break
+        grad = grad_out
+        for i in range(len(segs) - 1, -1, -1):
+            if lowest is not None and i < lowest:
+                return None
+            grad = segs[i][1].backward(grad)
+        return grad
+
+    def forward_collect(self, x: np.ndarray) -> dict[str, np.ndarray]:
+        """Run forward, returning ``(n, features)`` activations per segment.
+
+        Spatial activations are globally average-pooled; these matrices feed
+        the CKA similarity analysis of Figs. 2–4.
+        """
+        collected: dict[str, np.ndarray] = {}
+        for name, segment in self.segments():
+            x = segment(x)
+            feat = x.mean(axis=(2, 3)) if x.ndim == 4 else x
+            collected[name] = feat
+        return collected
+
+    # -- partial fine-tuning --------------------------------------------------
+    def apply_fine_tune_level(self, level: str) -> "SegmentedModel":
+        """Freeze every segment below ``level``'s trainable frontier."""
+        if level not in FINE_TUNE_LEVELS:
+            raise ValueError(
+                f"unknown fine-tune level {level!r}; "
+                f"expected one of {sorted(FINE_TUNE_LEVELS)}"
+            )
+        frontier = SEGMENT_ORDER.index(FINE_TUNE_LEVELS[level])
+        for i, (_, segment) in enumerate(self.segments()):
+            if i < frontier:
+                segment.freeze()
+            else:
+                segment.unfreeze()
+        return self
+
+    def set_partial_train_mode(self) -> "SegmentedModel":
+        """Train mode for trainable segments, eval mode for frozen ones.
+
+        Keeps frozen BatchNorm layers on their (pretrained) running
+        statistics during local fine-tuning — the standard frozen-feature-
+        extractor convention — while trainable segments keep batch
+        statistics.
+        """
+        for _, segment in self.segments():
+            if segment.has_trainable():
+                segment.train()
+            else:
+                segment.eval()
+        return self
+
+    def trainable_segment_names(self) -> list[str]:
+        return [name for name, seg in self.segments() if seg.has_trainable()]
+
+    def trainable_parameter_names(self) -> list[str]:
+        return [name for name, p in self.named_parameters() if p.requires_grad]
+
+    def flops_per_sample(self, in_shape: tuple) -> tuple[int, tuple]:
+        total = 0
+        shape = in_shape
+        for _, segment in self.segments():
+            flops, shape = segment.flops_per_sample(shape)
+            total += flops
+        return total, shape

@@ -1,0 +1,68 @@
+"""State-dict helpers: saving, loading and the ϕ/θ split.
+
+In FedFT-EDS only the upper part θ of the model is communicated; these
+helpers split a full state dict into the frozen (ϕ) and trainable (θ)
+portions by key, and persist state dicts as ``.npz`` archives.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.segmented import SegmentedModel
+
+
+def save_state(path: str, state: dict[str, np.ndarray]) -> None:
+    """Persist a state dict to ``path`` (``.npz`` appended if missing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_state`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def split_state(
+    state: dict[str, np.ndarray], theta_keys: Iterable[str]
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Split ``state`` into ``(phi, theta)`` by membership in ``theta_keys``."""
+    keys = set(theta_keys)
+    unknown = keys - set(state)
+    if unknown:
+        raise KeyError(f"theta keys not present in state: {sorted(unknown)}")
+    theta = {k: v for k, v in state.items() if k in keys}
+    phi = {k: v for k, v in state.items() if k not in keys}
+    return phi, theta
+
+
+def theta_keys(model: SegmentedModel) -> list[str]:
+    """Keys of the communicated part θ: trainable parameters plus the
+    buffers (BN running stats) of every trainable segment."""
+    keys = [name for name, p in model.named_parameters() if p.requires_grad]
+    for seg_name, segment in model.segments():
+        if not segment.has_trainable():
+            continue
+        for buf_name, _ in segment.named_buffers(seg_name):
+            keys.append(buf_name)
+    return keys
+
+
+def parameter_vector(model: Module, trainable_only: bool = False) -> np.ndarray:
+    """Flatten parameters to one vector (for drift/distance diagnostics)."""
+    parts = [
+        p.data.ravel()
+        for _, p in model.named_parameters()
+        if p.requires_grad or not trainable_only
+    ]
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate(parts)

@@ -1,0 +1,11 @@
+"""Source-domain pretraining and the centralised upper-bound baseline."""
+
+from repro.pretrain.pretrainer import PretrainConfig, pretrain_model
+from repro.pretrain.centralized import CentralizedConfig, train_centralized
+
+__all__ = [
+    "PretrainConfig",
+    "pretrain_model",
+    "CentralizedConfig",
+    "train_centralized",
+]

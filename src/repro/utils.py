@@ -1,0 +1,51 @@
+"""Shared utilities: seeded RNG trees and plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    """Return a Generator from a seed, passing existing generators through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so components (model init, per-client data,
+    selection, sampling) evolve independently: adding a client or changing
+    the model does not perturb anyone else's stream.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table (the benchmark reports)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pct(value: float, digits: int = 2) -> str:
+    """Format a [0, 1] fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}"

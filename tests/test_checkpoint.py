@@ -1,0 +1,113 @@
+"""Checkpoint/resume of federated campaigns."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import iid_partition
+from repro.fl.checkpoint import (
+    load_checkpoint,
+    resume_federated_training,
+    save_checkpoint,
+)
+from repro.fl.client import Client
+from repro.fl.rounds import run_federated_training
+from repro.fl.selection import RandomSelector
+from repro.fl.server import Server
+from repro.fl.strategies import LocalSolver
+from repro.fl.timing import TimingModel
+
+RNG = np.random.default_rng
+
+
+def make_federation(seed=0, num_clients=3):
+    rng = RNG(seed)
+    n = 90
+    x = rng.normal(size=(n, 3, 2, 2))
+    y = rng.integers(0, 3, size=n)
+    train = ArrayDataset(x, y)
+    model = nn.MLP(12, (8, 8, 8), 3, rng)
+    shards = iid_partition(y, num_clients, rng)
+    clients = [
+        Client(
+            client_id=i,
+            dataset=train.subset(shard),
+            selector=RandomSelector(),
+            solver=LocalSolver(lr=0.05, batch_size=8),
+            selection_fraction=0.5,
+            epochs=1,
+            rng=RNG(seed + 5 + i),
+        )
+        for i, shard in enumerate(shards)
+    ]
+    server = Server(model, ArrayDataset(x[:30], y[:30]))
+    return server, clients
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    server, clients = make_federation()
+    history = run_federated_training(
+        server, clients, rounds=3, seed=0, timing=TimingModel()
+    )
+    path = os.path.join(tmp_path, "ckpt")
+    save_checkpoint(path, server, history)
+
+    fresh_server, _ = make_federation(seed=1)
+    restored = load_checkpoint(path, fresh_server)
+    assert fresh_server.round_index == 3
+    assert len(restored.records) == 3
+    assert restored.accuracies.tolist() == history.accuracies.tolist()
+    for key, value in server.global_state.items():
+        assert np.array_equal(fresh_server.global_state[key], value)
+
+
+def test_resume_continues_round_numbering(tmp_path):
+    server, clients = make_federation()
+    history = run_federated_training(
+        server, clients, rounds=2, seed=0, timing=TimingModel()
+    )
+    path = os.path.join(tmp_path, "ckpt")
+    save_checkpoint(path, server, history)
+
+    resumed_server, resumed_clients = make_federation(seed=2)
+    full_history = resume_federated_training(
+        path,
+        resumed_server,
+        resumed_clients,
+        total_rounds=5,
+        seed=0,
+        timing=TimingModel(),
+    )
+    assert len(full_history.records) == 5
+    assert [r.round_index for r in full_history.records] == [1, 2, 3, 4, 5]
+    cums = [r.cumulative_client_seconds for r in full_history.records]
+    assert cums == sorted(cums)
+    assert resumed_server.round_index == 5
+
+
+def test_resume_noop_when_complete(tmp_path):
+    server, clients = make_federation()
+    history = run_federated_training(server, clients, rounds=4, seed=0)
+    path = os.path.join(tmp_path, "ckpt")
+    save_checkpoint(path, server, history)
+    resumed_server, resumed_clients = make_federation(seed=3)
+    result = resume_federated_training(
+        path, resumed_server, resumed_clients, total_rounds=4
+    )
+    assert len(result.records) == 4  # nothing new ran
+
+
+def test_resumed_model_keeps_learning(tmp_path):
+    server, clients = make_federation(seed=4)
+    history = run_federated_training(server, clients, rounds=2, seed=0)
+    path = os.path.join(tmp_path, "ckpt")
+    save_checkpoint(path, server, history)
+    resumed_server, resumed_clients = make_federation(seed=4)
+    full = resume_federated_training(
+        path, resumed_server, resumed_clients, total_rounds=8, seed=0
+    )
+    # continuation should not collapse the model
+    assert full.records[-1].test_accuracy >= history.best_accuracy - 0.2

@@ -1,0 +1,81 @@
+"""Communication accounting: only θ travels after the initial broadcast."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.fl.communication import (
+    campaign_communication,
+    communication_reduction,
+    round_communication,
+)
+
+RNG = np.random.default_rng
+
+
+def make_model(level):
+    model = nn.SmallConvNet(4, RNG(0), channels=(4, 8, 8))
+    model.apply_fine_tune_level(level)
+    return model
+
+
+def test_full_model_round_traffic_is_everything():
+    model = make_model("full")
+    comm = round_communication(model)
+    total = sum(v.size for v in model.state_dict().values())
+    assert comm.download_parameters == total
+    assert comm.upload_parameters == total
+
+
+def test_partial_round_traffic_is_theta_only():
+    model = make_model("moderate")
+    comm = round_communication(model)
+    full = sum(v.size for v in model.state_dict().values())
+    assert 0 < comm.download_parameters < full
+    assert comm.download_parameters == comm.upload_parameters
+
+
+def test_traffic_shrinks_with_deeper_freezing():
+    sizes = [
+        round_communication(make_model(level)).total_parameters
+        for level in ("full", "large", "moderate", "classifier")
+    ]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[-1] < sizes[0]
+
+
+def test_communication_reduction_fraction():
+    assert communication_reduction(make_model("full")) == pytest.approx(1.0)
+    reduction = communication_reduction(make_model("classifier"))
+    assert 0.0 < reduction < 0.2
+
+
+def test_campaign_totals():
+    model = make_model("moderate")
+    campaign = campaign_communication(model, rounds=10, participants_per_round=5)
+    per_round = round_communication(model).total_parameters
+    full = sum(v.size for v in model.state_dict().values())
+    expected = per_round * 10 * 5 + (full - per_round // 2) * 5
+    assert campaign.total_parameters == expected
+    assert campaign.bytes(8) == expected * 8
+    assert campaign.bytes(4) == expected * 4
+
+
+def test_campaign_partial_beats_full_when_long_enough():
+    """Amortised over enough rounds, the θ-only protocol wins despite the
+    one-off ϕ broadcast."""
+    partial = campaign_communication(
+        make_model("moderate"), rounds=20, participants_per_round=10
+    )
+    full = campaign_communication(
+        make_model("full"), rounds=20, participants_per_round=10
+    )
+    assert partial.total_parameters < full.total_parameters
+
+
+def test_validation():
+    model = make_model("full")
+    with pytest.raises(ValueError):
+        campaign_communication(model, rounds=0, participants_per_round=1)
+    with pytest.raises(ValueError):
+        round_communication(model).bytes(0)

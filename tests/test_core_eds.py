@@ -1,0 +1,138 @@
+"""The contribution: hardened softmax scoring and the FedFT-EDS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.fedft_eds import (
+    FedFTEDSConfig,
+    build_model,
+    make_selector,
+    run_fedft_eds,
+)
+from repro.core.hardened_softmax import (
+    entropy_scores,
+    hardened_softmax,
+    select_top_entropy,
+)
+from repro.data.dataset import ArrayDataset
+from repro.fl.selection import EntropySelector, FullSelector, RandomSelector
+
+RNG = np.random.default_rng
+
+
+def test_hardened_softmax_is_temperature_softmax():
+    logits = np.array([[1.0, 0.0, -1.0]])
+    hard = hardened_softmax(logits, 0.1)
+    assert hard[0, 0] > 0.99  # rho=0.1 makes the argmax near-certain
+    assert np.allclose(hard.sum(axis=1), 1.0)
+
+
+def test_entropy_scores_shape_and_range():
+    rng = RNG(0)
+    model = nn.MLP(12, (8, 8, 8), 5, rng)
+    ds = ArrayDataset(rng.normal(size=(30, 3, 2, 2)), rng.integers(0, 5, 30))
+    scores = entropy_scores(model, ds, temperature=0.1)
+    assert scores.shape == (30,)
+    assert np.all(scores >= 0) and np.all(scores <= np.log(5) + 1e-9)
+
+
+def test_select_top_entropy():
+    scores = np.array([0.1, 0.9, 0.5, 0.7, 0.2])
+    idx = select_top_entropy(scores, 0.4)
+    assert np.array_equal(idx, [1, 3])
+    with pytest.raises(ValueError):
+        select_top_entropy(scores, 0.0)
+    with pytest.raises(ValueError):
+        select_top_entropy(np.zeros(0), 0.5)
+
+
+def test_confident_samples_excluded():
+    """A near-one-hot sample must rank below a genuinely uncertain one."""
+    rng = RNG(1)
+    model = nn.MLP(4, (8, 8, 8), 2, rng)
+    # craft inputs: find a confident and an uncertain one by probing
+    x = rng.normal(size=(64, 1, 2, 2))
+    ds = ArrayDataset(x, np.zeros(64, dtype=int))
+    scores = entropy_scores(model, ds, temperature=0.1)
+    idx = select_top_entropy(scores, 0.25)
+    assert scores[idx].min() >= np.median(scores)
+
+
+def test_build_model_variants():
+    rng = RNG(0)
+    shape = (3, 8, 8)
+    assert isinstance(build_model("mlp", shape, 4, rng), nn.MLP)
+    assert isinstance(build_model("cnn", shape, 4, rng), nn.SmallConvNet)
+    assert isinstance(build_model("tiny_wrn", shape, 4, rng), nn.WideResNet)
+    with pytest.raises(ValueError):
+        build_model("resnet50", shape, 4, rng)
+
+
+def test_make_selector_variants():
+    assert isinstance(make_selector("eds", 0.1), EntropySelector)
+    assert make_selector("eds", 0.25).temperature == 0.25
+    assert isinstance(make_selector("rds", 0.1), RandomSelector)
+    assert isinstance(make_selector("all", 0.1), FullSelector)
+    with pytest.raises(ValueError):
+        make_selector("magic", 0.1)
+
+
+SMOKE = dict(
+    rounds=2,
+    num_clients=3,
+    train_size=120,
+    test_size=60,
+    pretrain_epochs=1,
+    local_epochs=1,
+    image_size=8,
+)
+
+
+def test_run_fedft_eds_smoke():
+    result = run_fedft_eds(FedFTEDSConfig(seed=0, **SMOKE))
+    assert len(result.history.records) == 2
+    assert 0.0 <= result.history.best_accuracy <= 1.0
+    assert result.efficiency.total_client_seconds > 0
+    # partial fine-tuning must leave phi frozen
+    assert not result.model.stem.has_trainable()
+    assert not result.model.low.has_trainable()
+    assert result.model.head.has_trainable()
+
+
+def test_run_fedft_eds_rejects_unknown_dataset():
+    with pytest.raises(ValueError):
+        run_fedft_eds(FedFTEDSConfig(dataset="mnist", **SMOKE))
+
+
+def test_run_fedft_eds_deterministic():
+    a = run_fedft_eds(FedFTEDSConfig(seed=7, **SMOKE))
+    b = run_fedft_eds(FedFTEDSConfig(seed=7, **SMOKE))
+    assert np.array_equal(a.history.accuracies, b.history.accuracies)
+    assert a.history.total_client_seconds == b.history.total_client_seconds
+
+
+def test_run_fedft_eds_seed_changes_run():
+    a = run_fedft_eds(FedFTEDSConfig(seed=1, **SMOKE))
+    b = run_fedft_eds(FedFTEDSConfig(seed=2, **SMOKE))
+    assert not np.array_equal(a.history.accuracies, b.history.accuracies)
+
+
+def test_run_fedft_eds_selection_variants():
+    for selection in ("eds", "rds", "all"):
+        result = run_fedft_eds(
+            FedFTEDSConfig(seed=0, selection=selection, **SMOKE)
+        )
+        assert len(result.history.records) == 2
+
+
+def test_run_fedft_eds_speech_domain():
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, dataset="speech_commands", **SMOKE)
+    )
+    assert 0.0 <= result.history.best_accuracy <= 1.0
+
+
+def test_run_fedft_eds_without_pretraining():
+    result = run_fedft_eds(FedFTEDSConfig(seed=0, pretrain=False, **SMOKE))
+    assert len(result.history.records) == 2

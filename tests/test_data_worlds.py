@@ -1,0 +1,153 @@
+"""Synthetic world/domain generators: shapes, determinism, structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic
+from repro.data.worlds import ClassDomain, LatentWorld, SampleKind, SampleMix
+
+
+def test_world_render_shapes():
+    world = LatentWorld(8, (3, 6, 6), seed=0)
+    z = np.random.default_rng(0).normal(size=(5, 8))
+    images = world.render(z)
+    assert images.shape == (5, 3, 6, 6)
+    assert np.all(np.abs(images) <= 1.0)  # tanh output
+
+
+def test_world_rejects_bad_latent():
+    world = LatentWorld(8, (3, 6, 6), seed=0)
+    with pytest.raises(ValueError):
+        world.render(np.zeros((2, 9)))
+    with pytest.raises(ValueError):
+        LatentWorld(1, (3, 6, 6), seed=0)
+
+
+def test_world_deterministic():
+    w1 = LatentWorld(8, (3, 6, 6), seed=42)
+    w2 = LatentWorld(8, (3, 6, 6), seed=42)
+    assert np.array_equal(w1.w2, w2.w2)
+    w3 = LatentWorld(8, (3, 6, 6), seed=43)
+    assert not np.array_equal(w1.w2, w3.w2)
+
+
+def test_shared_first_stage():
+    base = LatentWorld(8, (3, 6, 6), seed=0)
+    shared = LatentWorld(8, (3, 6, 6), seed=99, first_stage_from=base)
+    assert shared.w1 is base.w1
+    assert not np.array_equal(shared.w2, base.w2)
+    with pytest.raises(ValueError):
+        LatentWorld(9, (3, 6, 6), seed=1, first_stage_from=base)
+
+
+def test_domain_prototypes_separated():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    domain = world.make_domain(8, seed=1, min_separation=0.5)
+    protos = domain.prototypes
+    for i in range(8):
+        for j in range(i + 1, 8):
+            assert np.linalg.norm(protos[i] - protos[j]) >= 0.5 * 3.0
+
+
+def test_domain_sampling_labels_and_kinds():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    domain = world.make_domain(5, seed=1)
+    x, y, kinds = domain.sample(
+        500, 0, mix=SampleMix(boundary=0.3, label_noise=0.1)
+    )
+    assert x.shape == (500, 3, 6, 6)
+    assert set(np.unique(y)) <= set(range(5))
+    fractions = np.bincount(kinds, minlength=3) / 500
+    assert fractions[SampleKind.BOUNDARY] == pytest.approx(0.3, abs=0.07)
+    assert fractions[SampleKind.NOISY] == pytest.approx(0.1, abs=0.05)
+
+
+def test_domain_sampling_deterministic():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    domain = world.make_domain(5, seed=1)
+    x1, y1, k1 = domain.sample(50, 7)
+    x2, y2, k2 = domain.sample(50, 7)
+    assert np.array_equal(x1, x2)
+    assert np.array_equal(y1, y2)
+    assert np.array_equal(k1, k2)
+
+
+def test_class_probs_skew():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    domain = world.make_domain(4, seed=1)
+    probs = np.array([0.9, 0.1, 0.0, 0.0])
+    _, y, _ = domain.sample(300, 0, class_probs=probs)
+    counts = np.bincount(y, minlength=4)
+    assert counts[0] > counts[1] > 0
+    assert counts[2] == counts[3] == 0
+
+
+def test_sample_mix_validation():
+    with pytest.raises(ValueError):
+        SampleMix(boundary=1.2)
+    with pytest.raises(ValueError):
+        SampleMix(boundary=0.8, label_noise=0.3)
+
+
+def test_derived_domain_close_to_source():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    source = world.make_domain(10, seed=1)
+    derived = ClassDomain.derived(source, 5, seed=2, perturbation=0.2)
+    # every derived prototype is within perturbation*scale of some source one
+    for proto in derived.prototypes:
+        dists = np.linalg.norm(source.prototypes - proto, axis=1)
+        assert dists.min() <= 0.2 * source.prototype_scale + 1e-9
+
+
+def test_derived_domain_more_classes_than_source():
+    world = LatentWorld(16, (3, 6, 6), seed=0)
+    source = world.make_domain(4, seed=1)
+    derived = ClassDomain.derived(source, 10, seed=2)
+    assert derived.num_classes == 10
+    assert derived.prototypes.shape == (10, 16)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(2, 6), st.integers(10, 80), st.integers(0, 2**31 - 1))
+def test_sample_counts_property(num_classes, n, seed):
+    world = LatentWorld(8, (2, 4, 4), seed=0)
+    domain = world.make_domain(num_classes, seed=1)
+    x, y, kinds = domain.sample(n, seed)
+    assert len(x) == len(y) == len(kinds) == n
+    assert np.isfinite(x).all()
+
+
+# -- dataset factories -------------------------------------------------------
+
+
+def test_factories_produce_consistent_specs():
+    world = synthetic.make_vision_world(seed=0, image_size=8)
+    src = synthetic.make_small_imagenet(world, train_size=100, test_size=40)
+    c10 = synthetic.make_cifar10(world, train_size=80, test_size=40)
+    c100 = synthetic.make_cifar100(world, train_size=80, test_size=40)
+    gsc = synthetic.make_speech_commands(world, train_size=80, test_size=40)
+    for spec, classes in [(src, 20), (c10, 10), (c100, 20), (gsc, 12)]:
+        assert spec.num_classes == classes
+        assert len(spec.train) in (80, 100)
+        assert len(spec.test) == 40
+        assert spec.input_shape == (3, 8, 8)
+        labels = spec.train.labels
+        assert labels.min() >= 0 and labels.max() < classes
+
+
+def test_cifar_targets_derived_from_source():
+    world = synthetic.make_vision_world(seed=0, image_size=8)
+    c10 = synthetic.make_cifar10(world, train_size=50, test_size=20)
+    src_dom = synthetic._source_domain(world, 0)
+    for proto in c10.domain.prototypes:
+        dists = np.linalg.norm(src_dom.prototypes - proto, axis=1)
+        assert dists.min() <= 0.31 * src_dom.prototype_scale
+
+
+def test_speech_world_shares_first_stage_only():
+    world = synthetic.make_vision_world(seed=0, image_size=8)
+    gsc = synthetic.make_speech_commands(world, train_size=50, test_size=20)
+    assert gsc.domain.world.w1 is world.w1
+    assert gsc.domain.world.w2 is not world.w2

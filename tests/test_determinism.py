@@ -1,0 +1,81 @@
+"""Reproducibility guarantees: same seed ⇒ identical everything.
+
+These are load-bearing for EXPERIMENTS.md: the recorded numbers are only
+meaningful if a reader re-running `repro-experiments` gets them bit-for-bit.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import synthetic
+from repro.data.partition import dirichlet_partition
+from repro.experiments.figures import run_fig1
+from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+
+RNG = np.random.default_rng
+
+
+def test_model_init_deterministic():
+    m1 = nn.SmallConvNet(5, RNG(3), channels=(4, 4, 4))
+    m2 = nn.SmallConvNet(5, RNG(3), channels=(4, 4, 4))
+    for (k1, v1), (k2, v2) in zip(
+        sorted(m1.state_dict().items()), sorted(m2.state_dict().items())
+    ):
+        assert k1 == k2 and np.array_equal(v1, v2)
+
+
+def test_dataset_generation_deterministic():
+    w1 = synthetic.make_vision_world(seed=11, image_size=8)
+    w2 = synthetic.make_vision_world(seed=11, image_size=8)
+    s1 = synthetic.make_cifar10(w1, seed=4, train_size=50, test_size=20)
+    s2 = synthetic.make_cifar10(w2, seed=4, train_size=50, test_size=20)
+    x1, y1 = s1.train.arrays()
+    x2, y2 = s2.train.arrays()
+    assert np.array_equal(x1, x2)
+    assert np.array_equal(y1, y2)
+
+
+def test_partition_deterministic_under_shared_generator_protocol():
+    labels = RNG(0).integers(0, 5, size=200)
+    p1 = dirichlet_partition(labels, 6, 0.3, 42)
+    p2 = dirichlet_partition(labels, 6, 0.3, 42)
+    assert all(np.array_equal(a, b) for a, b in zip(p1, p2))
+
+
+def test_experiment_report_deterministic():
+    h1 = ExperimentHarness("smoke", seed=9)
+    h2 = ExperimentHarness("smoke", seed=9)
+    r1 = run_fig1(h1, {})
+    r2 = run_fig1(h2, {})
+    assert r1.table == r2.table
+    assert r1.data == r2.data or _payloads_equal(r1.data, r2.data)
+
+
+def _payloads_equal(a, b):
+    return str(a) == str(b)
+
+
+def test_full_federated_run_bitwise_reproducible():
+    results = []
+    for _ in range(2):
+        harness = ExperimentHarness("smoke", seed=21)
+        run = harness.federated(
+            "cifar100", STANDARD_METHODS["fedft_eds"], alpha=0.1, num_clients=4
+        )
+        results.append(run)
+    a, b = results
+    assert np.array_equal(a.history.accuracies, b.history.accuracies)
+    assert a.history.total_client_seconds == b.history.total_client_seconds
+    assert [r.participants for r in a.history.records] == [
+        r.participants for r in b.history.records
+    ]
+
+
+def test_different_methods_share_partitions():
+    """Fairness: every method in a table sees identical client shards."""
+    harness = ExperimentHarness("smoke", seed=2)
+    harness.federated("cifar10", STANDARD_METHODS["fedavg"], 0.5, 4)
+    p1 = [s.copy() for s in harness.partition("cifar10", 0.5, 4)]
+    harness.federated("cifar10", STANDARD_METHODS["fedft_eds"], 0.5, 4)
+    p2 = harness.partition("cifar10", 0.5, 4)
+    assert all(np.array_equal(a, b) for a, b in zip(p1, p2))

@@ -1,0 +1,93 @@
+"""The analytic timing model and its interaction with partial training."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.fl.timing import TimingModel
+
+RNG = np.random.default_rng
+SHAPE = (3, 4, 4)
+
+
+def make_model(level="full"):
+    model = nn.MLP(48, (16, 16, 16), 4, RNG(0))
+    model.apply_fine_tune_level(level)
+    return model
+
+
+def test_round_seconds_positive_and_scales_with_data():
+    timing = TimingModel(flops_per_second=1e6)
+    model = make_model()
+    t1 = timing.round_seconds(model, SHAPE, 10, 100, epochs=1, selection_forward=False)
+    t2 = timing.round_seconds(model, SHAPE, 20, 100, epochs=1, selection_forward=False)
+    assert 0 < t1 < t2
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_epochs_scale_training_time():
+    timing = TimingModel(flops_per_second=1e6)
+    model = make_model()
+    t1 = timing.round_seconds(model, SHAPE, 10, 100, epochs=1, selection_forward=False)
+    t5 = timing.round_seconds(model, SHAPE, 10, 100, epochs=5, selection_forward=False)
+    assert t5 == pytest.approx(5 * t1)
+
+
+def test_selection_overhead_added():
+    timing = TimingModel(flops_per_second=1e6)
+    model = make_model()
+    base = timing.round_seconds(model, SHAPE, 10, 100, epochs=1, selection_forward=False)
+    with_sel = timing.round_seconds(
+        model, SHAPE, 10, 100, epochs=1, selection_forward=True
+    )
+    assert with_sel > base
+
+
+def test_partial_training_cheaper():
+    """The workload reduction the paper claims from partial fine-tuning."""
+    timing = TimingModel(flops_per_second=1e6)
+    full = timing.round_seconds(
+        make_model("full"), SHAPE, 10, 100, epochs=1, selection_forward=False
+    )
+    partial = timing.round_seconds(
+        make_model("classifier"), SHAPE, 10, 100, epochs=1, selection_forward=False
+    )
+    assert partial < full
+
+
+def test_fedft_eds_beats_fedavg_workload():
+    """FedFT-EDS round (10% data + selection pass + partial model) must be
+    much cheaper than a FedAvg round (all data, full model)."""
+    timing = TimingModel(flops_per_second=1e6)
+    n = 200
+    fedavg = timing.round_seconds(
+        make_model("full"), SHAPE, n, n, epochs=5, selection_forward=False
+    )
+    fedft_eds = timing.round_seconds(
+        make_model("moderate"), SHAPE, n // 10, n, epochs=5, selection_forward=True
+    )
+    assert fedft_eds < fedavg / 3  # the paper's ≥3x efficiency headroom
+
+
+def test_speed_multipliers():
+    timing = TimingModel(flops_per_second=1e6, speed_multipliers={1: 4.0})
+    model = make_model()
+    fast = timing.round_seconds(
+        model, SHAPE, 10, 10, epochs=1, selection_forward=False, client_id=0
+    )
+    slow = timing.round_seconds(
+        model, SHAPE, 10, 10, epochs=1, selection_forward=False, client_id=1
+    )
+    assert slow == pytest.approx(4 * fast)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimingModel(flops_per_second=0)
+    with pytest.raises(ValueError):
+        TimingModel(speed_multipliers={0: -1.0})
+    timing = TimingModel()
+    with pytest.raises(ValueError):
+        timing.round_seconds(make_model(), SHAPE, -1, 10, 1, False)
+    with pytest.raises(ValueError):
+        timing.round_seconds(make_model(), SHAPE, 1, 10, 0, False)

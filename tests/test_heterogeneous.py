@@ -1,0 +1,126 @@
+"""Extension tests: capability tiers and heterogeneous aggregation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.heterogeneous import (
+    DEFAULT_TIERS,
+    CapabilityTier,
+    TieredClient,
+    aggregate_heterogeneous,
+    assign_tiers,
+)
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import iid_partition
+from repro.fl.selection import RandomSelector
+from repro.fl.server import Server
+from repro.fl.strategies import LocalSolver, LocalUpdate
+
+RNG = np.random.default_rng
+
+
+def make_setup(num_clients=3, seed=0):
+    rng = RNG(seed)
+    n = 90
+    x = rng.normal(size=(n, 3, 2, 2))
+    y = rng.integers(0, 3, size=n)
+    train = ArrayDataset(x, y)
+    model = nn.MLP(12, (8, 8, 8), 3, rng)
+    shards = iid_partition(y, num_clients, rng)
+    tiers = [DEFAULT_TIERS[i % len(DEFAULT_TIERS)] for i in range(num_clients)]
+    clients = [
+        TieredClient(
+            client_id=i,
+            dataset=train.subset(shard),
+            selector=RandomSelector(),
+            solver=LocalSolver(lr=0.05, batch_size=8),
+            selection_fraction=0.5,
+            epochs=1,
+            rng=RNG(seed + i + 1),
+            tier=tiers[i],
+        )
+        for i, shard in enumerate(shards)
+    ]
+    server = Server(model, ArrayDataset(x[:30], y[:30]))
+    return server, clients, tiers
+
+
+def test_tier_validation():
+    with pytest.raises(ValueError):
+        CapabilityTier("broken", "mega")
+    tier = CapabilityTier("ok", "classifier")
+    assert tier.level == "classifier"
+
+
+def test_assign_tiers_distribution():
+    tiers = assign_tiers(100, DEFAULT_TIERS, RNG(0))
+    names = {t.name for t in tiers}
+    assert names <= {"weak", "medium", "strong"}
+    assert len(tiers) == 100
+    skewed = assign_tiers(100, DEFAULT_TIERS, RNG(0), [1.0, 0.0, 0.0])
+    assert all(t.name == "weak" for t in skewed)
+    with pytest.raises(ValueError):
+        assign_tiers(0, DEFAULT_TIERS, RNG(0))
+    with pytest.raises(ValueError):
+        assign_tiers(5, DEFAULT_TIERS, RNG(0), [0.5, 0.5])
+
+
+def test_tiered_clients_upload_different_key_sets():
+    server, clients, tiers = make_setup()
+    updates = [c.run_round(server.model, server.broadcast()) for c in clients]
+    key_sets = [set(u.theta) for u in updates]
+    # weak (classifier) uploads fewer keys than strong (large)
+    weak = next(u for u in updates if u.metadata["tier"] == "weak")
+    strong = next(u for u in updates if u.metadata["tier"] == "strong")
+    assert set(weak.theta) < set(strong.theta)
+    assert all(u.metadata["level"] in ("classifier", "moderate", "large")
+               for u in updates)
+
+
+def test_aggregate_heterogeneous_keeps_untrained_keys():
+    server, clients, _ = make_setup()
+    broadcast = server.broadcast()
+    updates = [c.run_round(server.model, broadcast) for c in clients]
+    merged = aggregate_heterogeneous(broadcast, updates)
+    trained = set().union(*(set(u.theta) for u in updates))
+    for key, value in merged.items():
+        if key not in trained:
+            assert np.array_equal(value, broadcast[key])
+    assert any(
+        not np.array_equal(merged[k], broadcast[k]) for k in trained
+    )
+
+
+def test_aggregate_heterogeneous_weighted_mean():
+    base = {"head.w": np.zeros(2), "up.w": np.zeros(2)}
+    u1 = LocalUpdate(theta={"head.w": np.ones(2)}, num_selected=1, num_local=1)
+    u2 = LocalUpdate(
+        theta={"head.w": np.full(2, 3.0), "up.w": np.full(2, 2.0)},
+        num_selected=3,
+        num_local=3,
+    )
+    merged = aggregate_heterogeneous(base, [u1, u2])
+    assert np.allclose(merged["head.w"], (1 * 1 + 3 * 3) / 4)
+    assert np.allclose(merged["up.w"], 2.0)  # only u2 trained it
+
+
+def test_aggregate_heterogeneous_validation():
+    base = {"w": np.zeros(1)}
+    with pytest.raises(ValueError):
+        aggregate_heterogeneous(base, [])
+    bad = LocalUpdate(theta={"nope": np.zeros(1)}, num_selected=1, num_local=1)
+    with pytest.raises(KeyError):
+        aggregate_heterogeneous(base, [bad])
+
+
+def test_heterogeneous_round_trains_end_to_end():
+    """A full heterogeneous round: tiered updates + per-key aggregation."""
+    server, clients, _ = make_setup(seed=3)
+    accs = [server.evaluate()]
+    for _round in range(3):
+        broadcast = server.broadcast()
+        updates = [c.run_round(server.model, broadcast) for c in clients]
+        server.global_state = aggregate_heterogeneous(broadcast, updates)
+        accs.append(server.evaluate())
+    assert max(accs[1:]) >= accs[0] - 0.1  # training does not collapse

@@ -1,0 +1,134 @@
+"""Tests for functional ops: softmax, entropy, one-hot, accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(10, 7))
+    p = F.softmax(logits)
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert np.all(p >= 0)
+
+
+def test_softmax_invariant_to_shift():
+    logits = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(F.softmax(logits), F.softmax(logits + 100.0))
+
+
+def test_softmax_extreme_logits_stable():
+    logits = np.array([[1e4, -1e4, 0.0]])
+    p = F.softmax(logits)
+    assert np.isfinite(p).all()
+    assert p[0, 0] == pytest.approx(1.0)
+
+
+def test_hardened_softmax_sharpens():
+    logits = np.array([[2.0, 1.0, 0.0]])
+    hard = F.softmax(logits, temperature=0.1)
+    soft = F.softmax(logits, temperature=10.0)
+    assert hard[0, 0] > F.softmax(logits)[0, 0] > soft[0, 0]
+
+
+def test_softmax_rejects_bad_temperature():
+    with pytest.raises(ValueError):
+        F.softmax(np.zeros((1, 3)), temperature=0.0)
+    with pytest.raises(ValueError):
+        F.log_softmax(np.zeros((1, 3)), temperature=-1.0)
+
+
+def test_log_softmax_matches_log_of_softmax():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=(5, 4))
+    assert np.allclose(F.log_softmax(logits), np.log(F.softmax(logits)))
+
+
+def test_entropy_uniform_is_log_n():
+    p = np.full((2, 8), 1 / 8)
+    assert np.allclose(F.entropy(p), np.log(8))
+
+
+def test_entropy_onehot_is_zero():
+    p = np.zeros((1, 5))
+    p[0, 2] = 1.0
+    assert F.entropy(p)[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_entropy_from_logits_matches_direct():
+    rng = np.random.default_rng(2)
+    logits = rng.normal(size=(6, 5))
+    direct = F.entropy(F.softmax(logits, 0.5))
+    assert np.allclose(F.entropy_from_logits(logits, 0.5), direct)
+
+
+def test_entropy_from_logits_extreme_temperature_finite():
+    rng = np.random.default_rng(3)
+    logits = 50 * rng.normal(size=(4, 10))
+    ent = F.entropy_from_logits(logits, temperature=0.01)
+    assert np.isfinite(ent).all()
+    assert np.all(ent >= 0)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.integers(2, 10),
+    st.integers(1, 30),
+    st.floats(0.05, 5.0),
+    st.integers(0, 2**31 - 1),
+)
+def test_entropy_bounds_property(num_classes, n, temperature, seed):
+    """0 <= H <= log(C) for any logits and temperature."""
+    rng = np.random.default_rng(seed)
+    logits = 10 * rng.normal(size=(n, num_classes))
+    ent = F.entropy_from_logits(logits, temperature)
+    assert np.all(ent >= -1e-9)
+    assert np.all(ent <= np.log(num_classes) + 1e-9)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(2, 8), st.integers(1, 20), st.integers(0, 2**31 - 1))
+def test_hardening_reduces_mean_entropy(num_classes, n, seed):
+    """Hardening (rho < 1) cannot increase a sample's entropy on average."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, num_classes))
+    hard = F.entropy_from_logits(logits, 0.2).mean()
+    base = F.entropy_from_logits(logits, 1.0).mean()
+    assert hard <= base + 1e-9
+
+
+def test_one_hot_basic():
+    out = F.one_hot(np.array([0, 2, 1]), 3)
+    assert out.shape == (3, 3)
+    assert np.allclose(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+
+def test_one_hot_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        F.one_hot(np.array([0, 3]), 3)
+    with pytest.raises(ValueError):
+        F.one_hot(np.array([-1]), 3)
+
+
+def test_one_hot_rejects_2d():
+    with pytest.raises(ValueError):
+        F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+def test_accuracy_perfect_and_zero():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+    assert F.accuracy(logits, np.array([0, 1])) == 1.0
+    assert F.accuracy(logits, np.array([1, 0])) == 0.0
+
+
+def test_accuracy_empty_labels():
+    assert F.accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+
+def test_accuracy_shape_mismatch():
+    with pytest.raises(ValueError):
+        F.accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))

@@ -1,0 +1,77 @@
+"""Pretraining and centralised baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import synthetic
+from repro.pretrain.centralized import CentralizedConfig, train_centralized
+from repro.pretrain.pretrainer import PretrainConfig, pretrain_model
+
+RNG = np.random.default_rng
+
+
+@pytest.fixture(scope="module")
+def world():
+    return synthetic.make_vision_world(seed=0, image_size=8)
+
+
+@pytest.fixture(scope="module")
+def source(world):
+    return synthetic.make_small_imagenet(
+        world, num_classes=5, train_size=300, test_size=100
+    )
+
+
+def test_pretrain_improves_over_init(world, source):
+    model = nn.MLP(192, (24, 24, 24), source.num_classes, RNG(0))
+    from repro.metrics.accuracy import evaluate_accuracy
+
+    before = evaluate_accuracy(model, source.test)
+    after = pretrain_model(model, source, PretrainConfig(epochs=4, seed=0))
+    assert after > before
+    assert after > 0.5  # well above 20% chance for 5 classes
+
+
+def test_pretrain_config_validation():
+    with pytest.raises(ValueError):
+        PretrainConfig(epochs=0)
+
+
+def test_pretrain_deterministic(world, source):
+    m1 = nn.MLP(192, (24, 24, 24), source.num_classes, RNG(1))
+    m2 = nn.MLP(192, (24, 24, 24), source.num_classes, RNG(1))
+    pretrain_model(m1, source, PretrainConfig(epochs=2, seed=3))
+    pretrain_model(m2, source, PretrainConfig(epochs=2, seed=3))
+    for (k1, v1), (k2, v2) in zip(
+        sorted(m1.state_dict().items()), sorted(m2.state_dict().items())
+    ):
+        assert k1 == k2
+        assert np.array_equal(v1, v2)
+
+
+def test_centralized_tracks_epoch_accuracies(world):
+    target = synthetic.make_cifar10(world, train_size=200, test_size=80)
+    model = nn.MLP(192, (24, 24, 24), target.num_classes, RNG(0))
+    result = train_centralized(
+        model, target, CentralizedConfig(epochs=3, seed=0)
+    )
+    assert len(result.epoch_accuracies) == 3
+    assert result.best_accuracy == max(result.epoch_accuracies)
+    assert result.best_accuracy > 0.15  # above 10% chance
+
+
+def test_centralized_beats_one_epoch(world):
+    """More epochs should not reduce the best accuracy (it is a max)."""
+    target = synthetic.make_cifar10(world, train_size=200, test_size=80)
+    short = train_centralized(
+        nn.MLP(192, (24, 24, 24), 10, RNG(0)),
+        target,
+        CentralizedConfig(epochs=1, seed=0),
+    )
+    long = train_centralized(
+        nn.MLP(192, (24, 24, 24), 10, RNG(0)),
+        target,
+        CentralizedConfig(epochs=5, seed=0),
+    )
+    assert long.best_accuracy >= short.best_accuracy
