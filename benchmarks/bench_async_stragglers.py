@@ -1,0 +1,25 @@
+"""Benchmark: async engine vs sync baseline under Table-III stragglers.
+
+The acceptance bar for the event engine: with half the pool slowed 10x,
+FedAsync and FedBuff must reach the synchronous baseline's target accuracy
+(80% of its best) in *fewer simulated client-seconds* — the straggler tax
+the lock-step loop cannot avoid.
+"""
+
+from conftest import run_once
+
+from repro.experiments import async_stragglers
+
+
+def test_async_stragglers(benchmark, harness, context):
+    report = run_once(benchmark, lambda: async_stragglers.run(harness, context))
+    rows = {r["mode"]: r for r in report.data["rows"]}
+    assert set(rows) == {"sync", "fedasync", "fedbuff"}
+    sync_seconds = rows["sync"]["seconds_to_target"]
+    assert sync_seconds is not None
+    for mode in ("fedasync", "fedbuff"):
+        async_seconds = rows[mode]["seconds_to_target"]
+        assert async_seconds is not None, f"{mode} never reached the target"
+        assert async_seconds < sync_seconds, (
+            f"{mode} needed {async_seconds:.4g}s vs sync {sync_seconds:.4g}s"
+        )

@@ -10,6 +10,9 @@ The package is layered bottom-up:
   ImageNet and Google Speech Commands stand-ins) and non-IID partitioning.
 - :mod:`repro.fl` — federated-learning simulator (server, clients,
   aggregation, stragglers, analytic timing model).
+- :mod:`repro.engine` — event-driven asynchronous engine: virtual-clock
+  scheduler, FedAsync/FedBuff aggregation, serial/thread/process execution
+  backends, availability churn (see DESIGN.md).
 - :mod:`repro.core` — the paper's contribution: hardened-softmax
   entropy-based data selection + partial fine-tuning (FedFT-EDS).
 - :mod:`repro.metrics` — CKA, learning efficiency, entropy statistics.

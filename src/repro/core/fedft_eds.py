@@ -15,6 +15,11 @@ import numpy as np
 
 from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
+from repro.engine.aggregators import make_aggregator
+from repro.engine.availability import AlwaysAvailable, AvailabilityModel
+from repro.engine.backends import BACKENDS, make_backend
+from repro.engine.records import EventLog
+from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
 from repro.fl.rounds import TrainingHistory, run_federated_training
 from repro.fl.selection import EntropySelector, FullSelector, RandomSelector
@@ -60,20 +65,53 @@ class FedFTEDSConfig:
     image_size: int = 12
     train_size: int = 3000
     test_size: int = 1000
+    #: evaluation cadence: every N rounds in sync mode, every N *model
+    #: versions* in async modes — FedAsync creates one version per client
+    #: completion, so consider a num_clients-scale cadence there
     eval_every: int = 1
     verbose: bool = False
     timing: TimingModel = field(default_factory=TimingModel)
+    # -- engine (DESIGN.md): training mode and execution backend ----------
+    #: "sync" lock-step rounds | "fedasync" immediate staleness-weighted
+    #: mixing | "fedbuff" buffered aggregation of K updates
+    mode: str = "sync"
+    #: "serial" | "thread" | "process" — where client rounds execute
+    backend: str = "serial"
+    max_workers: int | None = None
+    #: async only: cap on concurrently training clients (default: all)
+    max_concurrency: int | None = None
+    #: async only: completion-event budget (default: rounds × num_clients,
+    #: i.e. the same total local work as the synchronous run)
+    max_events: int | None = None
+    async_mixing: float = 0.6  # FedAsync α
+    staleness_exponent: float = 0.5
+    buffer_size: int = 4  # FedBuff K
+    server_lr: float = 1.0  # FedBuff server step
+    #: async only: probability a dispatched round is lost mid-way
+    dropout_probability: float = 0.0
+    #: async only: online/offline churn (overrides dropout_probability)
+    availability: AvailabilityModel | None = None
 
 
 @dataclass
 class FedFTEDSResult:
-    """Run outputs: round history, efficiency, and the final global model."""
+    """Run outputs: run history, efficiency, and the final global model.
+
+    ``history`` is a :class:`~repro.fl.rounds.TrainingHistory` for
+    ``mode="sync"`` and an :class:`~repro.engine.records.EventLog` for the
+    asynchronous modes; both expose the shared summary surface
+    (``best_accuracy``, ``total_client_seconds``, ``seconds_to_accuracy``).
+    """
 
     config: FedFTEDSConfig
-    history: TrainingHistory
+    history: TrainingHistory | EventLog
     efficiency: LearningEfficiency
     model: SegmentedModel
     server: Server
+
+
+#: Training modes accepted by :class:`FedFTEDSConfig`.
+MODES = ("sync", "fedasync", "fedbuff")
 
 
 _DATASETS = {
@@ -117,6 +155,58 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             f"unknown dataset {config.dataset!r}; expected one of "
             f"{sorted(_DATASETS)}"
         )
+    if config.mode not in MODES:
+        raise ValueError(
+            f"unknown mode {config.mode!r}; expected one of {MODES}"
+        )
+    if config.backend not in BACKENDS:
+        # Fail before pretraining/setup, not at backend construction.
+        raise ValueError(
+            f"unknown backend {config.backend!r}; expected one of {BACKENDS}"
+        )
+    if config.mode == "sync":
+        # Async-only knobs silently doing nothing would let a forgotten
+        # mode= turn a churn/async experiment into a plain sync run.
+        async_only = {
+            "max_concurrency": None,
+            "max_events": None,
+            "async_mixing": 0.6,
+            "staleness_exponent": 0.5,
+            "buffer_size": 4,
+            "server_lr": 1.0,
+            "dropout_probability": 0.0,
+            "availability": None,
+        }
+        ignored = [
+            name
+            for name, default in async_only.items()
+            if getattr(config, name) != default
+        ]
+        if ignored:
+            raise ValueError(
+                f"async-only option(s) {ignored} have no effect with "
+                f"mode='sync'; set mode='fedasync' or 'fedbuff'"
+            )
+    # Build the async pieces up front for the same reason: their
+    # constructors validate mixing/buffer_size/server_lr/dropout.
+    aggregator = availability = None
+    if config.mode != "sync":
+        aggregator = make_aggregator(
+            config.mode,
+            mixing=config.async_mixing,
+            staleness_exponent=config.staleness_exponent,
+            buffer_size=config.buffer_size,
+            server_lr=config.server_lr,
+        )
+        availability = config.availability
+        if availability is None:
+            availability = AlwaysAvailable(
+                dropout_probability=config.dropout_probability
+            )
+        if config.max_events is not None and config.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if config.max_concurrency is not None and config.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
     (
         model_rng,
         head_rng,
@@ -171,15 +261,40 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
         for i, shard in enumerate(shards)
     ]
     server = Server(model, target.test)
-    history = run_federated_training(
-        server,
-        clients,
-        rounds=config.rounds,
-        seed=int(sampling_rng_seed_rng.integers(2**31)),
-        timing=config.timing,
-        eval_every=config.eval_every,
-        verbose=config.verbose,
-    )
+    run_seed = int(sampling_rng_seed_rng.integers(2**31))
+    backend = make_backend(config.backend, config.max_workers)
+    try:
+        if config.mode == "sync":
+            history = run_federated_training(
+                server,
+                clients,
+                rounds=config.rounds,
+                seed=run_seed,
+                timing=config.timing,
+                eval_every=config.eval_every,
+                backend=backend,
+                verbose=config.verbose,
+            )
+        else:
+            history = run_async_federated_training(
+                server,
+                clients,
+                aggregator,
+                max_events=(
+                    config.max_events
+                    if config.max_events is not None
+                    else config.rounds * config.num_clients
+                ),
+                seed=run_seed,
+                timing=config.timing,
+                backend=backend,
+                availability=availability,
+                max_concurrency=config.max_concurrency,
+                eval_every=config.eval_every,
+                verbose=config.verbose,
+            )
+    finally:
+        backend.close()
     return FedFTEDSResult(
         config=config,
         history=history,

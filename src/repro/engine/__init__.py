@@ -1,0 +1,66 @@
+"""Event-driven asynchronous FL engine with parallel client execution.
+
+The synchronous simulator in :mod:`repro.fl` runs lock-step rounds in a
+single process; this package removes both restrictions:
+
+- a **virtual-clock event scheduler** (:mod:`repro.engine.clock`,
+  :mod:`repro.engine.runner`) orders client completions by their
+  FLOP-derived simulated durations, so stragglers no longer gate anyone;
+- **async aggregation strategies** (:mod:`repro.engine.aggregators`) —
+  staleness-weighted FedAsync and buffered FedBuff — next to synchronous
+  FedAvg, sharing the core in :mod:`repro.fl.aggregation`;
+- pluggable **execution backends** (:mod:`repro.engine.backends`) run
+  client local training serially, in threads, or in processes, with
+  bitwise-identical results;
+- an **availability/dropout model** (:mod:`repro.engine.availability`)
+  adds online/offline churn and mid-round dropouts.
+
+See DESIGN.md for the virtual-clock semantics and determinism contract.
+"""
+
+from repro.engine.aggregators import (
+    AsyncAggregator,
+    FedAsyncAggregator,
+    FedBuffAggregator,
+    make_aggregator,
+)
+from repro.engine.availability import (
+    AlwaysAvailable,
+    AvailabilityModel,
+    RandomAvailability,
+    TraceAvailability,
+)
+from repro.engine.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.engine.clock import EventQueue, ScheduledEvent, VirtualClock
+from repro.engine.records import EventLog, EventRecord
+from repro.engine.runner import run_async_federated_training
+
+__all__ = [
+    "AsyncAggregator",
+    "FedAsyncAggregator",
+    "FedBuffAggregator",
+    "make_aggregator",
+    "AvailabilityModel",
+    "AlwaysAvailable",
+    "RandomAvailability",
+    "TraceAvailability",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "BACKENDS",
+    "make_backend",
+    "VirtualClock",
+    "EventQueue",
+    "ScheduledEvent",
+    "EventLog",
+    "EventRecord",
+    "run_async_federated_training",
+]

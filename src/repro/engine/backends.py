@@ -1,0 +1,224 @@
+"""Pluggable execution backends for client local training.
+
+A backend answers one question: *where does a client's local round actually
+run?* The simulation semantics (virtual time, event order, RNG streams) are
+owned by the training loops; backends only move the numeric work, so every
+backend must produce bitwise-identical results for the same dispatch
+sequence:
+
+- :class:`SerialBackend` — runs the round inline in the server's shared
+  workspace model, exactly like the original sequential simulator.
+- :class:`ThreadPoolBackend` — runs rounds in worker threads, each with its
+  own deep-copied model replica. NumPy releases the GIL inside the heavy
+  kernels, so local training genuinely overlaps.
+- :class:`ProcessPoolBackend` — runs rounds in worker processes. Each job
+  ships the client (with its RNG) and a model replica to the worker and
+  ships the advanced RNG state back, preserving per-client streams.
+
+Every client is in at most one in-flight job at a time (the schedulers
+guarantee this), so per-client RNG streams advance in the same order under
+every backend.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import queue
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.strategies import LocalUpdate
+from repro.fl.timing import TimingModel
+from repro.nn.segmented import SegmentedModel
+
+
+class _Resolved:
+    """A pre-computed result with a Future-compatible ``result()``."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class ExecutionBackend:
+    """Interface: submit client rounds, collect their LocalUpdates."""
+
+    def submit(
+        self,
+        client: Client,
+        template: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        timing: TimingModel | None,
+    ):
+        """Start one client round; returns a handle for :meth:`result`."""
+        raise NotImplementedError
+
+    def result(self, handle) -> LocalUpdate:
+        """Block until the handle's round is finished and return its update."""
+        return handle.result()
+
+    def map_round(
+        self,
+        clients: list[Client],
+        template: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        timing: TimingModel | None,
+    ) -> list[LocalUpdate]:
+        """Run one synchronous round's participants, preserving input order."""
+        handles = [
+            self.submit(client, template, global_state, timing)
+            for client in clients
+        ]
+        return [self.result(h) for h in handles]
+
+    def close(self) -> None:
+        """Release worker resources; the backend may not be reused after."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution in the shared workspace model (the seed behaviour)."""
+
+    def submit(self, client, template, global_state, timing):
+        return _Resolved(client.run_round(template, global_state, timing=timing))
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Worker threads over a pool of deep-copied model replicas.
+
+    Replicas are created eagerly on first submit (before any computation is
+    in flight) and recycled through a queue, so a worker never trains in a
+    model another worker — or the server's evaluation — is touching.
+    ``run_round`` loads the broadcast state before every round, so replica
+    contents never leak between clients.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._executor: ThreadPoolExecutor | None = None
+        self._replicas: queue.Queue | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_started(self, template: SegmentedModel) -> None:
+        with self._lock:
+            if self._executor is not None:
+                return
+            replicas: queue.Queue = queue.Queue()
+            for _ in range(self.max_workers):
+                replicas.put(copy.deepcopy(template))
+            self._replicas = replicas
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-client",
+            )
+
+    def submit(self, client, template, global_state, timing):
+        self._ensure_started(template)
+
+        def job() -> LocalUpdate:
+            model = self._replicas.get()
+            try:
+                return client.run_round(model, global_state, timing=timing)
+            finally:
+                self._replicas.put(model)
+
+        return self._executor.submit(job)
+
+    def close(self):
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._replicas = None
+
+
+def _process_client_round(
+    client: Client,
+    model: SegmentedModel,
+    global_state: dict[str, np.ndarray],
+    timing: TimingModel | None,
+) -> tuple[LocalUpdate, dict]:
+    """Worker-process entry point: run the round, return update + RNG state."""
+    update = client.run_round(model, global_state, timing=timing)
+    return update, client.rng.bit_generator.state
+
+
+class _ProcessHandle:
+    """Resolves a worker-process future and replays the client RNG advance."""
+
+    __slots__ = ("_future", "_client")
+
+    def __init__(self, future: Future, client: Client):
+        self._future = future
+        self._client = client
+
+    def result(self) -> LocalUpdate:
+        update, rng_state = self._future.result()
+        # The worker advanced a pickled copy of the generator; mirror that
+        # advance here so the parent's stream stays continuous.
+        self._client.rng.bit_generator.state = rng_state
+        return update
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Worker processes; each job ships client + model replica by pickle.
+
+    Heavyweight per job (the client's shard and a model replica cross the
+    process boundary every round), so this pays off only when local rounds
+    are expensive relative to their state. See ROADMAP open items for the
+    shared-memory weight plan.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_started(self) -> None:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def submit(self, client, template, global_state, timing):
+        self._ensure_started()
+        future = self._executor.submit(
+            _process_client_round, client, template, global_state, timing
+        )
+        return _ProcessHandle(future, client)
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+#: Backend short names used by configuration surfaces.
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_backend(
+    name: str, max_workers: int | None = None
+) -> ExecutionBackend:
+    """Instantiate an execution backend by short name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(max_workers=max_workers)
+    if name == "process":
+        return ProcessPoolBackend(max_workers=max_workers)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

@@ -253,19 +253,23 @@ class ExperimentHarness:
         prepare_partial_model(model, method.fine_tune_level)
         return model
 
-    def federated(
+    def build_federation(
         self,
         dataset: str,
         method: MethodSpec,
         alpha: float,
         num_clients: int,
-        rounds: int | None = None,
-        participation_fraction: float = 1.0,
         model_kind: str = "main",
-        collect_client_states: bool = False,
-        verbose: bool = False,
-    ) -> RunResult:
-        """Run one federated method under the shared setup."""
+        seed_extra: tuple = (),
+    ) -> tuple[Server, list[Client], int]:
+        """Server + client pool + run seed for one method under the shared setup.
+
+        The building block behind :meth:`federated`, also used directly by
+        the async-engine experiments, which drive the pool through
+        :func:`repro.engine.runner.run_async_federated_training` instead of
+        the lock-step loop. ``seed_extra`` folds extra identifying parts
+        into the run seed (kept order-compatible with historical seeds).
+        """
         s = self.scale
         spec = self.spec(dataset, model_kind)
         model = self.prepare_global_model(method, spec, model_kind)
@@ -276,7 +280,7 @@ class ExperimentHarness:
         )
         run_seed = _stable_seed(
             self.seed, "run", dataset, method.key, alpha, num_clients,
-            participation_fraction, model_kind,
+            *seed_extra, model_kind,
         )
         client_seq = np.random.SeedSequence(run_seed)
         client_rngs = [np.random.default_rng(c) for c in client_seq.spawn(num_clients)]
@@ -292,7 +296,30 @@ class ExperimentHarness:
             )
             for i, shard in enumerate(shards)
         ]
-        server = Server(model, spec.test)
+        return Server(model, spec.test), clients, run_seed
+
+    def federated(
+        self,
+        dataset: str,
+        method: MethodSpec,
+        alpha: float,
+        num_clients: int,
+        rounds: int | None = None,
+        participation_fraction: float = 1.0,
+        model_kind: str = "main",
+        collect_client_states: bool = False,
+        verbose: bool = False,
+    ) -> RunResult:
+        """Run one federated method under the shared setup."""
+        s = self.scale
+        server, clients, run_seed = self.build_federation(
+            dataset,
+            method,
+            alpha,
+            num_clients,
+            model_kind=model_kind,
+            seed_extra=(participation_fraction,),
+        )
         participation = (
             FullParticipation()
             if participation_fraction >= 1.0

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.experiments import figures, table1, table2, table3, table4
+from repro.experiments import (
+    async_stragglers,
+    figures,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 from repro.experiments.common import ExperimentHarness
 from repro.experiments.reporting import ExperimentReport
 
@@ -44,6 +51,10 @@ EXPERIMENTS: dict[str, tuple[Runner, str]] = {
     "fig10a": (figures.run_fig10a, "ablation: fine-tuned model part"),
     "fig10b": (figures.run_fig10b, "ablation: heterogeneity level"),
     "fig10c": (figures.run_fig10c, "ablation: softmax temperature"),
+    "async_stragglers": (
+        async_stragglers.run,
+        "async engine (FedAsync/FedBuff) vs sync under stragglers",
+    ),
 }
 
 

@@ -8,7 +8,12 @@ model that converts the exact per-client FLOPs into the "local training
 seconds" used by the learning-efficiency metric.
 """
 
-from repro.fl.aggregation import weighted_average
+from repro.fl.aggregation import (
+    apply_delta,
+    mix_states,
+    staleness_weight,
+    weighted_average,
+)
 from repro.fl.selection import (
     DataSelector,
     EntropySelector,
@@ -18,8 +23,12 @@ from repro.fl.selection import (
 from repro.fl.strategies import LocalSolver, LocalUpdate
 from repro.fl.client import Client
 from repro.fl.server import Server
-from repro.fl.sampling import FractionParticipation, FullParticipation
-from repro.fl.timing import TimingModel
+from repro.fl.sampling import (
+    BernoulliParticipation,
+    FractionParticipation,
+    FullParticipation,
+)
+from repro.fl.timing import TimingModel, straggler_multipliers
 from repro.fl.rounds import RoundRecord, TrainingHistory, run_federated_training
 from repro.fl.checkpoint import (
     load_checkpoint,
@@ -34,6 +43,9 @@ from repro.fl.communication import (
 
 __all__ = [
     "weighted_average",
+    "mix_states",
+    "apply_delta",
+    "staleness_weight",
     "DataSelector",
     "EntropySelector",
     "RandomSelector",
@@ -44,7 +56,9 @@ __all__ = [
     "Server",
     "FullParticipation",
     "FractionParticipation",
+    "BernoulliParticipation",
     "TimingModel",
+    "straggler_multipliers",
     "RoundRecord",
     "TrainingHistory",
     "run_federated_training",

@@ -1,4 +1,11 @@
-"""Server-side aggregation of client updates."""
+"""Server-side aggregation of client updates.
+
+:func:`weighted_average` is the synchronous FedAvg core (Eq. 5).
+:func:`mix_states` and :func:`staleness_weight` are the asynchronous
+primitives shared by the engine's FedAsync/FedBuff aggregators
+(:mod:`repro.engine.aggregators`): a convex server-side mix of the global
+state with an incoming one, discounted by how stale the contribution is.
+"""
 
 from __future__ import annotations
 
@@ -41,4 +48,54 @@ def weighted_average(
         for w, state in zip(weights, states):
             acc += w * state[key]
         out[key] = acc
+    return out
+
+
+def staleness_weight(staleness: int, exponent: float = 0.5) -> float:
+    """Polynomial staleness discount ``(1 + s)^-a`` (FedAsync, Xie et al.).
+
+    ``staleness`` counts global aggregations applied between a client's
+    dispatch and its completion; fresh updates (s = 0) keep full weight.
+    """
+    if staleness < 0:
+        raise ValueError(f"staleness must be non-negative, got {staleness}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    return float((1.0 + staleness) ** -exponent)
+
+
+def mix_states(
+    base: dict[str, np.ndarray],
+    incoming: dict[str, np.ndarray],
+    alpha: float,
+) -> dict[str, np.ndarray]:
+    """Convex combination ``(1 - α)·base + α·incoming`` over incoming's keys.
+
+    Keys present only in ``base`` (the frozen ϕ, which clients never touch)
+    pass through unchanged; fresh arrays are allocated so earlier broadcast
+    snapshots stay valid — the engine hands them to still-running clients.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    missing = set(incoming) - set(base)
+    if missing:
+        raise KeyError(f"incoming keys absent from base state: {sorted(missing)}")
+    out = dict(base)
+    for key, value in incoming.items():
+        out[key] = (1.0 - alpha) * base[key] + alpha * value
+    return out
+
+
+def apply_delta(
+    base: dict[str, np.ndarray],
+    delta: dict[str, np.ndarray],
+    lr: float = 1.0,
+) -> dict[str, np.ndarray]:
+    """Server-side update ``base + lr·delta`` over delta's keys (FedBuff)."""
+    missing = set(delta) - set(base)
+    if missing:
+        raise KeyError(f"delta keys absent from base state: {sorted(missing)}")
+    out = dict(base)
+    for key, value in delta.items():
+        out[key] = base[key] + lr * value
     return out

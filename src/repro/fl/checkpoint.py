@@ -45,6 +45,7 @@ def save_checkpoint(path: str, server: Server, history: TrainingHistory) -> None
                 "client_seconds": r.client_seconds,
                 "cumulative_client_seconds": r.cumulative_client_seconds,
                 "mean_local_loss": r.mean_local_loss,
+                "evaluated": r.evaluated,
             }
             for r in history.records
         ],
@@ -72,6 +73,9 @@ def load_checkpoint(path: str, server: Server) -> TrainingHistory:
                 client_seconds=float(r["client_seconds"]),
                 cumulative_client_seconds=float(r["cumulative_client_seconds"]),
                 mean_local_loss=float(r["mean_local_loss"]),
+                # Checkpoints written before the flag existed evaluated
+                # every round, so True is the faithful default.
+                evaluated=bool(r.get("evaluated", True)),
             )
         )
     return history
@@ -121,6 +125,7 @@ def resume_federated_training(
                     record.cumulative_client_seconds + offset_seconds
                 ),
                 mean_local_loss=record.mean_local_loss,
+                evaluated=record.evaluated,
             )
         )
     server.round_index = total_rounds

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.fl.selection import DataSelector
+from repro.fl.selection import DataSelector, selected_count
 from repro.fl.strategies import LocalSolver, LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
@@ -52,6 +52,29 @@ class Client:
     def num_samples(self) -> int:
         return len(self.dataset)
 
+    def planned_round_seconds(
+        self, model: SegmentedModel, timing: TimingModel
+    ) -> float:
+        """Simulated duration of this client's next round, known at dispatch.
+
+        Every selector keeps a deterministic *count* of samples
+        (``selected_count``), so the timing model can price a round before it
+        runs — this is what lets the event engine schedule a completion event
+        at dispatch time and still match ``LocalUpdate.train_seconds``
+        exactly.
+        """
+        num_selected = selected_count(len(self.dataset), self.selection_fraction)
+        in_shape = self.dataset.arrays()[0].shape[1:]
+        return timing.round_seconds(
+            model,
+            tuple(in_shape),
+            num_selected=num_selected,
+            num_local=len(self.dataset),
+            epochs=self.epochs,
+            selection_forward=self.selector.requires_forward,
+            client_id=self.client_id,
+        )
+
     def run_round(
         self,
         model: SegmentedModel,
@@ -90,14 +113,9 @@ class Client:
             mean_loss=mean_loss,
         )
         if timing is not None:
-            in_shape = self.dataset.arrays()[0].shape[1:]
-            update.train_seconds = timing.round_seconds(
-                model,
-                tuple(in_shape),
-                num_selected=len(selected),
-                num_local=len(self.dataset),
-                epochs=self.epochs,
-                selection_forward=self.selector.requires_forward,
-                client_id=self.client_id,
-            )
+            # Billed seconds come from the same computation the event
+            # engine uses to schedule this round's completion at dispatch
+            # (every selector keeps the deterministic ``selected_count``),
+            # so virtual-clock event times and billed time cannot diverge.
+            update.train_seconds = self.planned_round_seconds(model, timing)
         return update

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -12,10 +13,18 @@ from repro.fl.server import Server
 from repro.fl.timing import TimingModel
 from repro.utils import make_rng
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.backends import ExecutionBackend
+
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything observed in one communication round."""
+    """Everything observed in one communication round.
+
+    ``evaluated`` distinguishes a freshly measured ``test_accuracy`` from a
+    value carried forward between evaluations (``eval_every > 1``); the
+    threshold queries below only trust the former.
+    """
 
     round_index: int
     test_accuracy: float
@@ -24,6 +33,7 @@ class RoundRecord:
     client_seconds: float
     cumulative_client_seconds: float
     mean_local_loss: float
+    evaluated: bool = True
 
 
 @dataclass
@@ -62,16 +72,21 @@ class TrainingHistory:
         return float(self.records[-1].cumulative_client_seconds)
 
     def rounds_to_accuracy(self, target: float) -> int | None:
-        """First round index reaching ``target`` accuracy, or None."""
+        """First round index where ``target`` accuracy is *measured*, or None.
+
+        Only genuinely evaluated records count: with ``eval_every > 1`` the
+        in-between records repeat the last measured accuracy, which must not
+        register as a (stale) threshold hit.
+        """
         for record in self.records:
-            if record.test_accuracy >= target:
+            if record.evaluated and record.test_accuracy >= target:
                 return record.round_index
         return None
 
     def seconds_to_accuracy(self, target: float) -> float | None:
-        """Cumulative client seconds when ``target`` accuracy is first hit."""
+        """Cumulative client seconds when ``target`` is first measured."""
         for record in self.records:
-            if record.test_accuracy >= target:
+            if record.evaluated and record.test_accuracy >= target:
                 return record.cumulative_client_seconds
         return None
 
@@ -84,13 +99,22 @@ def run_federated_training(
     participation: ParticipationModel | None = None,
     timing: TimingModel | None = None,
     eval_every: int = 1,
+    backend: "ExecutionBackend | None" = None,
     verbose: bool = False,
 ) -> TrainingHistory:
     """Run ``rounds`` communication rounds of Algorithm 1.
 
     Each round: sample participants → every participant selects data and
-    fine-tunes locally in the server's workspace model → the server fuses
-    the uploaded θ's weighted by selected counts → periodic evaluation.
+    fine-tunes locally → the server fuses the uploaded θ's weighted by
+    selected counts → periodic evaluation. With no ``backend`` the clients
+    run sequentially in the server's workspace model; an
+    :class:`~repro.engine.backends.ExecutionBackend` runs them in parallel
+    workers with bitwise-identical results (updates are aggregated in
+    participant order either way).
+
+    A round whose participant set is empty (availability churn — e.g.
+    :class:`~repro.fl.sampling.BernoulliParticipation`) skips aggregation
+    and is recorded as a zero-participant round.
     """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
@@ -105,14 +129,22 @@ def run_federated_training(
             round_index, len(clients), sampling_rng
         )
         broadcast = server.broadcast()
-        updates = [
-            clients[cid].run_round(server.model, broadcast, timing=timing)
-            for cid in chosen
-        ]
-        server.aggregate(updates)
+        participants = [clients[int(cid)] for cid in chosen]
+        if backend is None:
+            updates = [
+                client.run_round(server.model, broadcast, timing=timing)
+                for client in participants
+            ]
+        else:
+            updates = backend.map_round(
+                participants, server.model, broadcast, timing
+            )
+        if updates:
+            server.aggregate(updates)
         round_seconds = float(sum(u.train_seconds for u in updates))
         cumulative_seconds += round_seconds
-        if round_index % eval_every == 0 or round_index == rounds:
+        evaluated = round_index % eval_every == 0 or round_index == rounds
+        if evaluated:
             accuracy = server.evaluate()
         else:
             accuracy = history.records[-1].test_accuracy if history.records else 0.0
@@ -123,7 +155,10 @@ def run_federated_training(
             selected_samples=int(sum(u.num_selected for u in updates)),
             client_seconds=round_seconds,
             cumulative_client_seconds=cumulative_seconds,
-            mean_local_loss=float(np.mean([u.mean_loss for u in updates])),
+            mean_local_loss=(
+                float(np.mean([u.mean_loss for u in updates])) if updates else 0.0
+            ),
+            evaluated=evaluated,
         )
         history.append(record)
         if verbose:  # pragma: no cover - console convenience

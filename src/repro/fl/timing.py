@@ -3,7 +3,8 @@
 The paper reports learning efficiency as best accuracy divided by total
 client training *seconds*. Wall-clock time on the authors' testbed is not
 reproducible, so time is simulated from the exact FLOPs of the configured
-model (see DESIGN.md substitutions):
+model (the substitution, and the virtual-clock semantics the asynchronous
+engine builds on it, are documented in DESIGN.md at the repo root):
 
 - training one sample costs a full forward plus a backward truncated below
   the lowest trainable segment — this is where partial fine-tuning saves;
@@ -17,6 +18,8 @@ Only *relative* times matter for every conclusion drawn from the metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.nn import profiling
 from repro.nn.segmented import SegmentedModel
@@ -68,3 +71,27 @@ class TimingModel:
             )
         total = train_flops + selection_flops
         return total / self.flops_per_second * self._multiplier(client_id)
+
+
+def straggler_multipliers(
+    num_clients: int,
+    slow_fraction: float,
+    slowdown: float,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Speed multipliers for a Table-III-style heterogeneous tier split.
+
+    A deterministic ``slow_fraction`` of the pool becomes stragglers with
+    the given ``slowdown`` (> 1); the rest keep multiplier 1. Used by the
+    async-vs-sync straggler experiment and benchmark.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise ValueError(f"slow_fraction must be in [0, 1], got {slow_fraction}")
+    if slowdown < 1.0:
+        raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+    k = int(round(slow_fraction * num_clients))
+    rng = np.random.default_rng(seed)
+    slow = rng.choice(num_clients, size=k, replace=False)
+    return {int(cid): float(slowdown) for cid in np.sort(slow)}

@@ -3,8 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-from repro.fl.rounds import TrainingHistory
+
+@runtime_checkable
+class RunHistory(Protocol):
+    """What the metric needs from a run log.
+
+    Satisfied by both the synchronous
+    :class:`~repro.fl.rounds.TrainingHistory` and the asynchronous engine's
+    :class:`~repro.engine.records.EventLog`.
+    """
+
+    @property
+    def best_accuracy(self) -> float: ...
+
+    @property
+    def total_client_seconds(self) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -24,12 +39,13 @@ class LearningEfficiency:
         )
 
 
-def learning_efficiency(method: str, history: TrainingHistory) -> LearningEfficiency:
-    """Compute the paper's metric from a run history.
+def learning_efficiency(method: str, history: RunHistory) -> LearningEfficiency:
+    """Compute the paper's metric from a run history (sync or async).
 
     Efficiency = best test accuracy (in percent) divided by the total
     simulated training seconds across all participating clients, including
-    any selection overhead.
+    any selection overhead (and, for the async engine, seconds wasted on
+    mid-round dropouts).
     """
     seconds = history.total_client_seconds
     if seconds <= 0:

@@ -7,12 +7,23 @@ meaningful if a reader re-running `repro-experiments` gets them bit-for-bit.
 import numpy as np
 
 from repro import nn
+from repro.core.fedft_eds import FedFTEDSConfig, run_fedft_eds
 from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
 from repro.experiments.figures import run_fig1
 from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
 
 RNG = np.random.default_rng
+
+ENGINE_SMOKE = dict(
+    rounds=2,
+    num_clients=3,
+    train_size=120,
+    test_size=60,
+    pretrain_epochs=1,
+    local_epochs=1,
+    image_size=8,
+)
 
 
 def test_model_init_deterministic():
@@ -69,6 +80,70 @@ def test_full_federated_run_bitwise_reproducible():
     assert [r.participants for r in a.history.records] == [
         r.participants for r in b.history.records
     ]
+
+
+def _final_state(result):
+    return {k: v.copy() for k, v in result.server.global_state.items()}
+
+
+def _states_equal(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def test_thread_backend_bitwise_identical_to_serial_sync():
+    """Parallel local training must not change synchronous results at all."""
+    serial = run_fedft_eds(
+        FedFTEDSConfig(seed=13, backend="serial", **ENGINE_SMOKE)
+    )
+    threaded = run_fedft_eds(
+        FedFTEDSConfig(seed=13, backend="thread", **ENGINE_SMOKE)
+    )
+    assert np.array_equal(serial.history.accuracies, threaded.history.accuracies)
+    assert (
+        serial.history.total_client_seconds
+        == threaded.history.total_client_seconds
+    )
+    assert _states_equal(_final_state(serial), _final_state(threaded))
+
+
+def test_async_engine_seed_determinism_same_backend():
+    """Same seed + same backend ⇒ identical event log and final weights."""
+    for mode in ("fedasync", "fedbuff"):
+        a = run_fedft_eds(FedFTEDSConfig(seed=21, mode=mode, **ENGINE_SMOKE))
+        b = run_fedft_eds(FedFTEDSConfig(seed=21, mode=mode, **ENGINE_SMOKE))
+        assert [
+            (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+            for r in a.history.records
+        ] == [
+            (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+            for r in b.history.records
+        ]
+        assert np.array_equal(a.history.accuracies, b.history.accuracies)
+        assert _states_equal(_final_state(a), _final_state(b))
+
+
+def test_async_engine_backend_independent():
+    """Virtual-time ordering makes the event log backend-invariant too."""
+    serial = run_fedft_eds(
+        FedFTEDSConfig(seed=5, mode="fedasync", backend="serial", **ENGINE_SMOKE)
+    )
+    threaded = run_fedft_eds(
+        FedFTEDSConfig(seed=5, mode="fedasync", backend="thread", **ENGINE_SMOKE)
+    )
+    assert np.array_equal(serial.history.accuracies, threaded.history.accuracies)
+    assert _states_equal(_final_state(serial), _final_state(threaded))
+
+
+def test_process_backend_bitwise_identical_to_serial_sync():
+    """Worker processes round-trip client RNG state, so results match."""
+    serial = run_fedft_eds(
+        FedFTEDSConfig(seed=13, backend="serial", **ENGINE_SMOKE)
+    )
+    pooled = run_fedft_eds(
+        FedFTEDSConfig(seed=13, backend="process", max_workers=2, **ENGINE_SMOKE)
+    )
+    assert np.array_equal(serial.history.accuracies, pooled.history.accuracies)
+    assert _states_equal(_final_state(serial), _final_state(pooled))
 
 
 def test_different_methods_share_partitions():

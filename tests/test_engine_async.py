@@ -1,0 +1,397 @@
+"""The event-driven asynchronous engine: scheduler, aggregators, backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.fedft_eds import FedFTEDSConfig, run_fedft_eds
+from repro.engine.aggregators import (
+    FedAsyncAggregator,
+    FedBuffAggregator,
+    make_aggregator,
+)
+from repro.engine.availability import (
+    AlwaysAvailable,
+    RandomAvailability,
+    TraceAvailability,
+)
+from repro.engine.backends import make_backend
+from repro.engine.clock import EventQueue, VirtualClock
+from repro.engine.records import EventLog, EventRecord
+from repro.fl.aggregation import apply_delta, mix_states, staleness_weight
+from repro.fl.rounds import RoundRecord, TrainingHistory, run_federated_training
+from repro.fl.sampling import BernoulliParticipation, ParticipationModel
+from repro.fl.timing import TimingModel, straggler_multipliers
+
+SMOKE = dict(
+    rounds=2,
+    num_clients=3,
+    train_size=120,
+    test_size=60,
+    pretrain_epochs=1,
+    local_epochs=1,
+    image_size=8,
+)
+
+
+# -- clock ------------------------------------------------------------------
+def test_virtual_clock_is_monotone():
+    clock = VirtualClock()
+    clock.advance_to(2.5)
+    assert clock.now == 2.5
+    with pytest.raises(ValueError):
+        clock.advance_to(1.0)
+
+
+def test_event_queue_orders_by_time_then_dispatch_sequence():
+    q = EventQueue()
+    q.push(3.0, client_id=0, dispatch_version=0, duration=3.0)
+    q.push(1.0, client_id=1, dispatch_version=0, duration=1.0)
+    q.push(1.0, client_id=2, dispatch_version=0, duration=1.0)
+    popped = [q.pop().client_id for _ in range(3)]
+    assert popped == [1, 2, 0]  # equal times break ties by dispatch order
+
+
+# -- aggregation primitives --------------------------------------------------
+def test_staleness_weight_decays():
+    assert staleness_weight(0) == 1.0
+    assert staleness_weight(3, 0.5) == pytest.approx(0.5)
+    assert staleness_weight(5, 0.0) == 1.0
+    with pytest.raises(ValueError):
+        staleness_weight(-1)
+
+
+def test_mix_states_passes_frozen_keys_through():
+    base = {"phi": np.ones(2), "theta": np.zeros(2)}
+    out = mix_states(base, {"theta": np.full(2, 2.0)}, alpha=0.25)
+    assert np.array_equal(out["phi"], base["phi"])
+    assert np.allclose(out["theta"], 0.5)
+    # fresh arrays: older broadcast snapshots must stay valid
+    assert out["theta"] is not base["theta"]
+    with pytest.raises(KeyError):
+        mix_states(base, {"missing": np.zeros(2)}, 0.5)
+
+
+def test_apply_delta():
+    base = {"theta": np.ones(3)}
+    out = apply_delta(base, {"theta": np.full(3, 0.5)}, lr=2.0)
+    assert np.allclose(out["theta"], 2.0)
+
+
+class _FakeServer:
+    def __init__(self):
+        self.global_state = {"theta": np.zeros(4), "phi": np.ones(4)}
+        self.round_index = 0
+
+
+def test_fedasync_applies_every_update():
+    server = _FakeServer()
+    agg = FedAsyncAggregator(mixing=0.5, staleness_exponent=0.0)
+    update = type("U", (), {"theta": {"theta": np.full(4, 2.0)}, "num_selected": 4})
+    assert agg.apply(server, update, staleness=0, base_state=None)
+    assert server.round_index == 1
+    assert np.allclose(server.global_state["theta"], 1.0)
+    assert np.array_equal(server.global_state["phi"], np.ones(4))
+
+
+def test_fedbuff_flushes_every_k_updates():
+    server = _FakeServer()
+    agg = FedBuffAggregator(buffer_size=3, staleness_exponent=0.0)
+    base = {"theta": np.zeros(4)}
+    update = type("U", (), {"theta": {"theta": np.ones(4)}, "num_selected": 2})
+    assert not agg.apply(server, update, 0, base)
+    assert not agg.apply(server, update, 1, base)
+    assert agg.pending == 2
+    assert agg.apply(server, update, 2, base)  # third update flushes
+    assert agg.pending == 0
+    assert server.round_index == 1
+    assert np.allclose(server.global_state["theta"], 1.0)
+
+
+def test_make_aggregator_variants():
+    assert isinstance(make_aggregator("fedasync"), FedAsyncAggregator)
+    assert isinstance(make_aggregator("fedbuff", buffer_size=7), FedBuffAggregator)
+    with pytest.raises(ValueError):
+        make_aggregator("sync")
+
+
+# -- availability -------------------------------------------------------------
+def test_random_availability_is_deterministic_and_windowed():
+    a = RandomAvailability(online_fraction=0.5, period=10.0, seed=3)
+    b = RandomAvailability(online_fraction=0.5, period=10.0, seed=3)
+    pattern_a = [a.is_online(0, t) for t in np.arange(0, 200, 5.0)]
+    pattern_b = [b.is_online(0, t) for t in np.arange(0, 200, 5.0)]
+    assert pattern_a == pattern_b
+    assert any(pattern_a) and not all(pattern_a)
+    nxt = a.next_online(0, 0.0)
+    assert nxt is not None and a.is_online(0, nxt)
+
+
+def test_trace_availability_intervals():
+    model = TraceAvailability(traces={1: [(5.0, 10.0), (20.0, 30.0)]})
+    assert model.is_online(0, 0.0)  # no trace: always online
+    assert not model.is_online(1, 0.0)
+    assert model.is_online(1, 7.0)
+    assert model.next_online(1, 12.0) == 20.0
+    assert model.next_online(1, 40.0) is None
+    with pytest.raises(ValueError):
+        TraceAvailability(traces={0: [(3.0, 2.0)]})
+
+
+# -- event log ----------------------------------------------------------------
+def _event(i, acc, evaluated, seconds):
+    return EventRecord(
+        event_index=i,
+        kind="update",
+        virtual_time=float(i),
+        client_id=0,
+        staleness=0,
+        model_version=i + 1,
+        test_accuracy=acc,
+        evaluated=evaluated,
+        num_selected=1,
+        client_seconds=1.0,
+        cumulative_client_seconds=seconds,
+        mean_local_loss=0.0,
+    )
+
+
+def test_event_log_threshold_queries_skip_carried_accuracy():
+    log = EventLog()
+    log.append(_event(0, 0.5, True, 1.0))
+    log.append(_event(1, 0.5, False, 2.0))  # carried forward, not a real hit
+    log.append(_event(2, 0.9, True, 3.0))
+    assert log.events_to_accuracy(0.5) == 0
+    assert log.seconds_to_accuracy(0.9) == 3.0
+    assert log.virtual_time_to_accuracy(0.9) == 2.0
+    assert log.best_accuracy == 0.9
+    assert log.total_client_seconds == 3.0
+    assert log.events_to_accuracy(0.95) is None
+
+
+# -- end-to-end through the one-call API --------------------------------------
+def test_fedasync_end_to_end():
+    result = run_fedft_eds(FedFTEDSConfig(seed=0, mode="fedasync", **SMOKE))
+    log = result.history
+    assert isinstance(log, EventLog)
+    assert len(log) == SMOKE["rounds"] * SMOKE["num_clients"]
+    # every FedAsync completion advances the model version
+    assert log.final_version == len(log)
+    assert all(r.kind == "update" for r in log.records)
+    assert result.efficiency.total_client_seconds > 0
+
+
+def test_fedbuff_end_to_end_buffers_then_flushes():
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, mode="fedbuff", buffer_size=2, **SMOKE)
+    )
+    log = result.history
+    kinds = [r.kind for r in log.records]
+    assert "buffer" in kinds and "update" in kinds
+    # one version per K=2 completions
+    assert log.final_version == len(log) // 2
+
+
+def test_fedbuff_residual_buffer_flushed_at_end_of_run():
+    """Work stranded in a partial buffer must still reach the model."""
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, mode="fedbuff", buffer_size=4, **SMOKE)
+    )
+    log = result.history
+    # 6 completions: one flush at K=4, two stranded → final server-side flush
+    assert log.records[-1].client_id == -1
+    assert log.records[-1].kind == "update"
+    assert log.records[-1].evaluated
+    assert log.records[-1].client_seconds == 0.0
+    assert log.final_version == 2
+
+
+def test_async_final_record_is_always_evaluated():
+    """Like the sync loop, a run must end on a measured accuracy."""
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, mode="fedasync", eval_every=4, **SMOKE)
+    )
+    assert result.history.records[-1].evaluated
+    # intermediate cadence still honoured
+    flags = [r.evaluated for r in result.history.records]
+    assert not all(flags)
+
+
+def test_async_dispatch_capped_by_event_budget():
+    """No client round is trained whose completion can't fit the budget."""
+    from repro.engine.backends import SerialBackend
+    from repro.engine.runner import run_async_federated_training
+    from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+
+    class CountingBackend(SerialBackend):
+        def __init__(self):
+            self.submitted = 0
+
+        def submit(self, *args, **kwargs):
+            self.submitted += 1
+            return super().submit(*args, **kwargs)
+
+    harness = ExperimentHarness("smoke", seed=0)
+    server, clients, run_seed = harness.build_federation(
+        "cifar10", STANDARD_METHODS["fedft_eds"], 0.1, 4
+    )
+    backend = CountingBackend()
+    log = run_async_federated_training(
+        server,
+        clients,
+        FedAsyncAggregator(),
+        max_events=2,
+        seed=run_seed,
+        timing=harness.timing,
+        backend=backend,
+    )
+    assert len(log) == 2
+    assert backend.submitted == 2  # not one per client
+
+
+def test_async_modes_are_seed_deterministic():
+    for mode in ("fedasync", "fedbuff"):
+        a = run_fedft_eds(FedFTEDSConfig(seed=11, mode=mode, **SMOKE))
+        b = run_fedft_eds(FedFTEDSConfig(seed=11, mode=mode, **SMOKE))
+        assert [
+            (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+            for r in a.history.records
+        ] == [
+            (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+            for r in b.history.records
+        ]
+        assert np.array_equal(a.history.accuracies, b.history.accuracies)
+
+
+def test_async_straggler_completions_interleave():
+    """A 10x straggler must not gate fast clients' completions."""
+    result = run_fedft_eds(
+        FedFTEDSConfig(
+            seed=0,
+            mode="fedasync",
+            timing=TimingModel(speed_multipliers={0: 10.0}),
+            max_events=24,  # enough virtual time for the straggler to finish
+            **SMOKE,
+        )
+    )
+    records = result.history.records
+    first_straggler = next(i for i, r in enumerate(records) if r.client_id == 0)
+    # both fast clients complete (twice) before the straggler's first event
+    assert first_straggler >= 4
+    # and the straggler's update arrives stale
+    assert records[first_straggler].staleness > 0
+
+
+def test_async_dropout_records_lost_rounds():
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, mode="fedasync", dropout_probability=0.5, **SMOKE)
+    )
+    log = result.history
+    drops = log.events_of_kind("drop")
+    assert drops, "p=0.5 over 6 events should lose at least one round"
+    assert all(r.num_selected == 0 and r.client_seconds > 0 for r in drops)
+    # dropped rounds still waste client time
+    assert log.total_client_seconds > sum(
+        r.client_seconds for r in log.events_of_kind("update")
+    )
+
+
+def test_unknown_mode_and_backend_rejected():
+    with pytest.raises(ValueError):
+        run_fedft_eds(FedFTEDSConfig(mode="gossip", **SMOKE))
+    with pytest.raises(ValueError):
+        make_backend("gpu")
+
+
+def test_async_only_options_rejected_under_sync_mode():
+    """A forgotten mode= must not silently drop the churn configuration."""
+    with pytest.raises(ValueError, match="dropout_probability"):
+        run_fedft_eds(
+            FedFTEDSConfig(seed=0, dropout_probability=0.3, **SMOKE)
+        )
+    with pytest.raises(ValueError, match="availability"):
+        run_fedft_eds(
+            FedFTEDSConfig(seed=0, availability=AlwaysAvailable(), **SMOKE)
+        )
+
+
+# -- satellite fixes -----------------------------------------------------------
+class _EmptyThenFull(ParticipationModel):
+    """No participants in round 1, everyone afterwards."""
+
+    def participants(self, round_index, num_clients, rng):
+        if round_index == 1:
+            return np.array([], dtype=int)
+        return np.arange(num_clients)
+
+
+def test_empty_participation_round_is_recorded_not_nan():
+    from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+
+    harness = ExperimentHarness("smoke", seed=0)
+    server, clients, run_seed = harness.build_federation(
+        "cifar10", STANDARD_METHODS["fedft_eds"], 0.1, 3
+    )
+    history = run_federated_training(
+        server,
+        clients,
+        rounds=2,
+        seed=run_seed,
+        participation=_EmptyThenFull(),
+        timing=harness.timing,
+    )
+    empty = history.records[0]
+    assert empty.participants == ()
+    assert empty.selected_samples == 0
+    assert empty.client_seconds == 0.0
+    assert empty.mean_local_loss == 0.0
+    assert np.isfinite(empty.mean_local_loss)
+    assert not np.isnan(history.accuracies).any()
+    # round 2 aggregated normally
+    assert len(history.records[1].participants) == 3
+
+
+def test_bernoulli_participation_can_be_empty():
+    model = BernoulliParticipation(0.05)
+    rng = np.random.default_rng(0)
+    sizes = {len(model.participants(r, 4, rng)) for r in range(50)}
+    assert 0 in sizes  # empties do occur and must be survivable
+
+
+def test_history_threshold_queries_ignore_stale_accuracy():
+    history = TrainingHistory()
+
+    def record(i, acc, evaluated, secs):
+        return RoundRecord(
+            round_index=i,
+            test_accuracy=acc,
+            participants=(0,),
+            selected_samples=1,
+            client_seconds=1.0,
+            cumulative_client_seconds=secs,
+            mean_local_loss=0.0,
+            evaluated=evaluated,
+        )
+
+    history.append(record(1, 0.6, True, 1.0))
+    history.append(record(2, 0.6, False, 2.0))  # carried forward
+    history.append(record(3, 0.8, True, 3.0))
+    assert history.rounds_to_accuracy(0.6) == 1
+    assert history.rounds_to_accuracy(0.7) == 3  # not round 2's stale 0.6
+    assert history.seconds_to_accuracy(0.8) == 3.0
+
+
+def test_eval_every_marks_between_rounds_as_not_evaluated():
+    result = run_fedft_eds(
+        FedFTEDSConfig(seed=0, eval_every=2, **{**SMOKE, "rounds": 4})
+    )
+    flags = [r.evaluated for r in result.history.records]
+    assert flags == [False, True, False, True]
+
+
+def test_straggler_multipliers_helper():
+    mult = straggler_multipliers(10, 0.5, 8.0, seed=1)
+    assert len(mult) == 5
+    assert all(v == 8.0 for v in mult.values())
+    assert straggler_multipliers(10, 0.5, 8.0, seed=1) == mult
+    with pytest.raises(ValueError):
+        straggler_multipliers(10, 0.5, 0.5)
