@@ -1,0 +1,27 @@
+"""Benchmark: FedBuff buffer-size (K) sweep runs end to end.
+
+Proves the sweep's full pipeline — sync baseline, one event-engine run per
+K under Table-III stragglers, time-to-target race — and pins the shape of
+its report: every configured K produces a row with a positive accuracy and
+the equal-per-K client-seconds bill (the sweep holds total work fixed, so
+K only redistributes *when* aggregations happen).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fedbuff_sweep
+
+
+def test_fedbuff_sweep(benchmark, harness, context):
+    report = run_once(benchmark, lambda: fedbuff_sweep.run(harness, context))
+    rows = {r["buffer_size"]: r for r in report.data["rows"]}
+    assert set(rows) == set(fedbuff_sweep.K_VALUES)
+    assert report.data["sync_seconds_to_target"] is not None
+    seconds = {r["total_client_seconds"] for r in rows.values()}
+    assert len(seconds) == 1, "equal event budgets must bill equal seconds"
+    for k, row in rows.items():
+        assert row["best_accuracy"] > 0
+        # every K flushes at least once (end-of-run flush included)
+        assert row["model_versions"] >= 1
+    # eager aggregation must beat near-synchronous K at a fixed budget
+    assert rows[min(rows)]["best_accuracy"] >= rows[max(rows)]["best_accuracy"]

@@ -1,0 +1,88 @@
+"""Benchmark: shared-memory vs pickling process backend, Table-III scale.
+
+The shared-memory :class:`ProcessPoolBackend` exists because the naive
+process backend ships a full model replica plus the client's shard with
+*every* job. This regression test runs one full synchronous round of the
+Table-III-scale pool (``clients_large``) under both backends and pins down
+three properties:
+
+1. **Correctness** — both backends produce bitwise-identical updates (the
+   engine's determinism contract extends to backend implementations).
+2. **No per-job replicas** — the shared-memory job payload stays orders of
+   magnitude below the pickled model + shard a naive job would carry, and
+   does not grow with job count.
+3. **Segment economy** — one weight publish per model version and one
+   shard segment per client, however many rounds run.
+"""
+
+import pickle
+
+from conftest import run_once
+
+from repro.engine.backends import PicklingProcessPoolBackend, ProcessPoolBackend
+from repro.experiments.common import STANDARD_METHODS
+
+DATASET = "cifar10"
+ALPHA = 0.1
+ROUNDS = 2
+
+
+def _federation(harness):
+    return harness.build_federation(
+        DATASET,
+        STANDARD_METHODS["fedft_eds"],
+        ALPHA,
+        harness.scale.clients_large,
+        seed_extra=("bench_process_backend",),
+    )
+
+
+def _run_rounds(harness, backend):
+    server, clients, _ = _federation(harness)
+    updates = []
+    with backend:
+        for _ in range(ROUNDS):
+            broadcast = server.broadcast()
+            round_updates = backend.map_round(
+                clients, server.model, broadcast, harness.timing
+            )
+            server.aggregate(round_updates)
+            updates.extend(round_updates)
+    return server, clients, updates
+
+
+def test_process_backend_shared_memory_vs_pickling(benchmark, harness):
+    shared = ProcessPoolBackend(max_workers=2)
+    server, clients, shm_updates = run_once(
+        benchmark, lambda: _run_rounds(harness, shared)
+    )
+
+    # 1. bitwise-identical results under the legacy pickling backend
+    _, _, pickled_updates = _run_rounds(
+        harness, PicklingProcessPoolBackend(max_workers=2)
+    )
+    assert len(shm_updates) == len(pickled_updates)
+    for a, b in zip(shm_updates, pickled_updates):
+        assert a.num_selected == b.num_selected
+        assert a.mean_loss == b.mean_loss
+        assert set(a.theta) == set(b.theta)
+        for key in a.theta:
+            assert (a.theta[key] == b.theta[key]).all()
+
+    # 2. the shared-memory path must not ship per-job replicas: each job
+    #    payload stays far below one pickled model + one pickled shard
+    stats = shared.stats
+    num_clients = harness.scale.clients_large
+    assert stats["jobs"] == ROUNDS * num_clients
+    replica_bytes = len(pickle.dumps(server.model)) + min(
+        len(pickle.dumps(client.dataset.arrays())) for client in clients
+    )
+    assert stats["max_job_payload_bytes"] * 10 < replica_bytes, (
+        f"job payload {stats['max_job_payload_bytes']}B is within 10x of a "
+        f"pickled replica+shard ({replica_bytes}B) — per-job copies are back"
+    )
+
+    # 3. segment economy: weights published once per version, shards once
+    assert stats["state_publishes"] == ROUNDS
+    assert stats["shard_segments"] == num_clients
+    assert stats["state_segments"] <= 2

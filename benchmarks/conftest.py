@@ -6,17 +6,19 @@ scale via the same runners the real campaign uses (``repro-experiments
 artefact's pipeline end to end and track its cost).
 
 A session-scoped harness shares the synthetic worlds and pretrained models
-across benchmarks, exactly like one experiment campaign does.
+across benchmarks, exactly like one experiment campaign does. All builders
+come from :mod:`repro.testbed` — the same module the unit tests use — so a
+benchmark can never drift onto a configuration the tests don't certify.
 """
 
 import pytest
 
-from repro.experiments.common import ExperimentHarness
+from repro.testbed import smoke_harness
 
 
 @pytest.fixture(scope="session")
 def harness():
-    return ExperimentHarness("smoke", seed=0)
+    return smoke_harness(seed=0)
 
 
 @pytest.fixture(scope="session")

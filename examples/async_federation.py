@@ -6,6 +6,11 @@ modes, with half the clients slowed 8x. The async runs use the thread-pool
 backend, so local client training genuinely overlaps on your cores while
 the virtual clock keeps the simulation deterministic.
 
+Swap ``backend="thread"`` for ``"process"`` to run each client round in
+long-lived worker processes reading weights and shards from shared memory
+— results are bitwise identical under every backend. For interrupting and
+resuming an async run, see ``examples/async_checkpoint_resume.py``.
+
 Run:  python examples/async_federation.py
 """
 

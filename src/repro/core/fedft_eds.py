@@ -91,6 +91,11 @@ class FedFTEDSConfig:
     dropout_probability: float = 0.0
     #: async only: online/offline churn (overrides dropout_probability)
     availability: AvailabilityModel | None = None
+    #: async only: directory for periodic run-state checkpoints; resumable
+    #: via :func:`repro.fl.checkpoint.resume_async_federated_training`
+    checkpoint_path: str | None = None
+    #: async only: checkpoint cadence in processed events (0 = disabled)
+    checkpoint_every: int = 0
 
 
 @dataclass
@@ -176,6 +181,8 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             "server_lr": 1.0,
             "dropout_probability": 0.0,
             "availability": None,
+            "checkpoint_path": None,
+            "checkpoint_every": 0,
         }
         ignored = [
             name
@@ -292,6 +299,8 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
                 max_concurrency=config.max_concurrency,
                 eval_every=config.eval_every,
                 verbose=config.verbose,
+                checkpoint_path=config.checkpoint_path,
+                checkpoint_every=config.checkpoint_every,
             )
     finally:
         backend.close()

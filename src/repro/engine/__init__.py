@@ -33,6 +33,7 @@ from repro.engine.availability import (
 from repro.engine.backends import (
     BACKENDS,
     ExecutionBackend,
+    PicklingProcessPoolBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
@@ -40,7 +41,7 @@ from repro.engine.backends import (
 )
 from repro.engine.clock import EventQueue, ScheduledEvent, VirtualClock
 from repro.engine.records import EventLog, EventRecord
-from repro.engine.runner import run_async_federated_training
+from repro.engine.runner import AsyncRunState, run_async_federated_training
 
 __all__ = [
     "AsyncAggregator",
@@ -55,6 +56,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "PicklingProcessPoolBackend",
     "BACKENDS",
     "make_backend",
     "VirtualClock",
@@ -62,5 +64,6 @@ __all__ = [
     "ScheduledEvent",
     "EventLog",
     "EventRecord",
+    "AsyncRunState",
     "run_async_federated_training",
 ]

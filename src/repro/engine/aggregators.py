@@ -58,6 +58,20 @@ class AsyncAggregator:
         """
         return False
 
+    def state_export(self) -> list[tuple[dict[str, np.ndarray], float]]:
+        """Buffered-but-unapplied state for checkpoints (empty if stateless)."""
+        return []
+
+    def state_restore(
+        self, state: list[tuple[dict[str, np.ndarray], float]]
+    ) -> None:
+        """Restore :meth:`state_export` output into a fresh aggregator."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint "
+                f"carries {len(state)} buffered update(s)"
+            )
+
 
 @dataclass
 class FedAsyncAggregator(AsyncAggregator):
@@ -127,6 +141,18 @@ class FedBuffAggregator(AsyncAggregator):
         server.round_index += 1
         self._buffer.clear()
         return True
+
+    def state_export(self):
+        return [
+            ({k: v.copy() for k, v in delta.items()}, float(weight))
+            for delta, weight in self._buffer
+        ]
+
+    def state_restore(self, state):
+        self._buffer = [
+            ({k: np.asarray(v) for k, v in delta.items()}, float(weight))
+            for delta, weight in state
+        ]
 
 
 def make_aggregator(

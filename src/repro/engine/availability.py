@@ -79,11 +79,16 @@ class RandomAvailability(AvailabilityModel):
         )
         return bool(rng.random() < self.online_fraction)
 
+    def _window(self, time: float) -> int:
+        # Virtual time is non-negative; clamping keeps queries total (a
+        # negative window would be an invalid SeedSequence entry).
+        return max(0, int(time // self.period))
+
     def is_online(self, client_id, time):
-        return self._window_online(client_id, int(time // self.period))
+        return self._window_online(client_id, self._window(time))
 
     def next_online(self, client_id, time):
-        window = int(time // self.period)
+        window = self._window(time)
         for k in range(window, window + self.max_windows_ahead):
             if self._window_online(client_id, k):
                 return max(float(time), k * self.period)

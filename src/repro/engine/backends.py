@@ -11,29 +11,47 @@ sequence:
 - :class:`ThreadPoolBackend` — runs rounds in worker threads, each with its
   own deep-copied model replica. NumPy releases the GIL inside the heavy
   kernels, so local training genuinely overlaps.
-- :class:`ProcessPoolBackend` — runs rounds in worker processes. Each job
-  ships the client (with its RNG) and a model replica to the worker and
-  ships the advanced RNG state back, preserving per-client streams.
+- :class:`ProcessPoolBackend` — runs rounds in long-lived worker processes
+  that read global weights and client shards from
+  ``multiprocessing.shared_memory`` segments. Only a small job descriptor
+  (segment names, layouts, RNG state) crosses the pipe per round, and only
+  the round's θ update and advanced RNG state come back.
+- :class:`PicklingProcessPoolBackend` — the naive process backend that
+  ships a full model replica plus the client (with its shard) per job;
+  kept as the regression baseline the shared-memory benchmark compares
+  against.
 
 Every client is in at most one in-flight job at a time (the schedulers
 guarantee this), so per-client RNG streams advance in the same order under
-every backend.
+every backend. Backends are driven by a single scheduler thread; they are
+not thread-safe for concurrent ``submit``/``result`` callers.
+
+See DESIGN.md ("Shared-memory process backend") for the segment layout and
+worker lifecycle.
 """
 
 from __future__ import annotations
 
 import copy
 import os
+import pickle
 import queue
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context, resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.data.dataset import ArrayDataset
 from repro.fl.client import Client
 from repro.fl.strategies import LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
+
+#: environment override for the worker start method ("fork" | "spawn" |
+#: "forkserver"); CI runs the determinism suite under spawn through this.
+START_METHOD_ENV = "REPRO_PROCESS_START_METHOD"
 
 
 class _Resolved:
@@ -147,6 +165,314 @@ class ThreadPoolBackend(ExecutionBackend):
                 self._replicas = None
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory process backend
+# ---------------------------------------------------------------------------
+
+#: alignment of every array inside a segment (cache line / SIMD friendly)
+_ALIGN = 64
+
+
+def _array_layout(
+    arrays: dict[str, np.ndarray]
+) -> tuple[dict[str, tuple[int, tuple, str]], int]:
+    """Plan the packed layout ``key -> (offset, shape, dtype.str)`` + size."""
+    layout: dict[str, tuple[int, tuple, str]] = {}
+    offset = 0
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[key])
+        offset = -(-offset // _ALIGN) * _ALIGN
+        layout[key] = (offset, tuple(arr.shape), arr.dtype.str)
+        offset += arr.nbytes
+    return layout, max(offset, 1)
+
+
+def _write_arrays(buf, layout, arrays) -> None:
+    for key, (offset, shape, dtype) in layout.items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        view[...] = arrays[key]
+
+
+def _view_arrays(buf, layout) -> dict[str, np.ndarray]:
+    return {
+        key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+        for key, (offset, shape, dtype) in layout.items()
+    }
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without resource-tracker custody.
+
+    On POSIX Pythons before 3.13, merely *attaching* registers the segment
+    with the resource tracker, which would unlink it when this worker exits
+    — destroying a segment the parent still owns (and, under fork, racing
+    the tracker the parent shares). The parent manages segment lifetime, so
+    suppress the registration for the duration of the attach; the worker is
+    single-threaded, so the swap cannot be observed concurrently.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+#: per-worker caches: the model replica shipped once at startup, attached
+#: segments by name, and reconstructed clients by shard-segment name.
+_WORKER: dict = {"model": None, "segments": {}, "clients": {}}
+
+
+def _shm_worker_init(template_blob: bytes) -> None:
+    """Worker startup: unpickle the model replica once, reset caches."""
+    _WORKER["model"] = pickle.loads(template_blob)
+    _WORKER["segments"] = {}
+    _WORKER["clients"] = {}
+
+
+def _worker_segment(name: str) -> shared_memory.SharedMemory:
+    seg = _WORKER["segments"].get(name)
+    if seg is None:
+        seg = _untracked_attach(name)
+        _WORKER["segments"][name] = seg
+    return seg
+
+
+def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict]:
+    """Worker entry point: run one round against shared-memory state.
+
+    The job descriptor carries only names/layouts/RNG state; weights and
+    the shard are read from the attached segments. Returns the update plus
+    the advanced client RNG state, exactly like the pickling backend.
+    """
+    job = pickle.loads(job_blob)
+    model = _WORKER["model"]
+    state_seg = _worker_segment(job["state_name"])
+    global_state = _view_arrays(state_seg.buf, job["state_layout"])
+    client = _WORKER["clients"].get(job["shard_name"])
+    if client is None:
+        client = pickle.loads(job["client_blob"])
+        shard_seg = _worker_segment(job["shard_name"])
+        shard = _view_arrays(shard_seg.buf, job["shard_layout"])
+        # float64/int64 views pass through ArrayDataset without a copy.
+        client.dataset = ArrayDataset(shard["x"], shard["y"])
+        _WORKER["clients"][job["shard_name"]] = client
+    client.rng = np.random.default_rng(0)
+    client.rng.bit_generator.state = job["rng_state"]
+    update = client.run_round(model, global_state, timing=job["timing"])
+    return update, client.rng.bit_generator.state
+
+
+@dataclass
+class _StateSlot:
+    """One shared-memory segment holding a published version of the weights.
+
+    ``refs`` counts in-flight jobs reading from the slot; the buffer is only
+    rewritten with a newer version once every reader has been collected, so
+    a job dispatched from an old version keeps seeing that version's bytes.
+    ``state`` pins the exact dict object published, making the identity
+    check in ``_publish_state`` safe against id reuse.
+    """
+
+    shm: shared_memory.SharedMemory
+    nbytes: int
+    layout: dict = field(default_factory=dict)
+    refs: int = 0
+    state: dict | None = None
+
+
+@dataclass
+class _ShardRecord:
+    """Parent-side registration of one client's shard segment."""
+
+    shm: shared_memory.SharedMemory
+    layout: dict
+    client_blob: bytes
+    client: Client  # pins the client object so the id() key stays valid
+
+
+class _ShmHandle:
+    """Resolves a worker future, mirrors the RNG advance, releases the slot."""
+
+    __slots__ = ("_future", "_client", "_slot")
+
+    def __init__(self, future: Future, client: Client, slot: _StateSlot):
+        self._future = future
+        self._client = client
+        self._slot = slot
+
+    def result(self) -> LocalUpdate:
+        try:
+            update, rng_state = self._future.result()
+        finally:
+            self._slot.refs -= 1
+        self._client.rng.bit_generator.state = rng_state
+        return update
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Long-lived worker processes over shared-memory weights and shards.
+
+    The parent publishes each distinct broadcast state once into a
+    refcounted shared-memory slot and each client's shard once into its own
+    segment; workers attach lazily and cache the attachment plus the
+    reconstructed client. A job descriptor is then a few kilobytes
+    (segment names, layouts, the client's RNG state and the timing model),
+    independent of model and shard size — the property
+    ``benchmarks/bench_process_backend.py`` guards.
+
+    ``start_method`` defaults to the :data:`START_METHOD_ENV` environment
+    variable, falling back to the platform default context.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
+        self._executor: ProcessPoolExecutor | None = None
+        self._template: SegmentedModel | None = None
+        self._slots: list[_StateSlot] = []
+        self._current: _StateSlot | None = None
+        self._shards: dict[int, _ShardRecord] = {}
+        self.stats = {
+            "jobs": 0,
+            "state_publishes": 0,
+            "state_segments": 0,
+            "shard_segments": 0,
+            "job_payload_bytes": 0,
+            "max_job_payload_bytes": 0,
+        }
+
+    # -- worker pool --------------------------------------------------------
+    def _ensure_started(self, template: SegmentedModel) -> None:
+        if self._executor is not None and template is self._template:
+            return
+        if self._executor is not None:
+            # A different template means a different federation; restart the
+            # pool so every worker replica matches (rare: once per run).
+            self._executor.shutdown(wait=True)
+        context = get_context(self.start_method) if self.start_method else None
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=context,
+            initializer=_shm_worker_init,
+            initargs=(pickle.dumps(template),),
+        )
+        self._template = template
+
+    # -- shared-memory publication -------------------------------------------
+    def _publish_state(self, global_state: dict[str, np.ndarray]) -> _StateSlot:
+        """Acquire a slot holding ``global_state``; publish it if new.
+
+        The training loops hand out one dict object per model version
+        (aggregation always builds a fresh dict), so object identity with
+        the most recently published state detects version reuse.
+        """
+        if self._current is not None and self._current.state is global_state:
+            self._current.refs += 1
+            return self._current
+        layout, nbytes = _array_layout(global_state)
+        slot = next(
+            (s for s in self._slots if s.refs == 0 and s.nbytes >= nbytes), None
+        )
+        if slot is None:
+            slot = _StateSlot(
+                shm=shared_memory.SharedMemory(create=True, size=nbytes),
+                nbytes=nbytes,
+            )
+            self._slots.append(slot)
+            self.stats["state_segments"] = len(self._slots)
+        _write_arrays(slot.shm.buf, layout, global_state)
+        slot.layout = layout
+        slot.state = global_state
+        slot.refs += 1
+        self._current = slot
+        self.stats["state_publishes"] += 1
+        return slot
+
+    def _ensure_shard(self, client: Client) -> _ShardRecord:
+        record = self._shards.get(id(client))
+        if record is not None:
+            return record
+        x, y = client.dataset.arrays()
+        arrays = {
+            "x": np.ascontiguousarray(x, dtype=np.float64),
+            "y": np.ascontiguousarray(y, dtype=np.int64),
+        }
+        layout, nbytes = _array_layout(arrays)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        _write_arrays(shm.buf, layout, arrays)
+        # Ship everything about the client except the heavy shard and the
+        # RNG (whose state travels per job); shallow copy keeps subclasses.
+        clone = copy.copy(client)
+        clone.dataset = None
+        clone.rng = None
+        record = _ShardRecord(
+            shm=shm,
+            layout=layout,
+            client_blob=pickle.dumps(clone),
+            client=client,
+        )
+        self._shards[id(client)] = record
+        self.stats["shard_segments"] = len(self._shards)
+        return record
+
+    # -- ExecutionBackend interface ------------------------------------------
+    def submit(self, client, template, global_state, timing):
+        self._ensure_started(template)
+        slot = self._publish_state(global_state)
+        shard = self._ensure_shard(client)
+        job_blob = pickle.dumps(
+            {
+                "state_name": slot.shm.name,
+                "state_layout": slot.layout,
+                "shard_name": shard.shm.name,
+                "shard_layout": shard.layout,
+                "client_blob": shard.client_blob,
+                "rng_state": client.rng.bit_generator.state,
+                "timing": timing,
+            }
+        )
+        self.stats["jobs"] += 1
+        self.stats["job_payload_bytes"] += len(job_blob)
+        self.stats["max_job_payload_bytes"] = max(
+            self.stats["max_job_payload_bytes"], len(job_blob)
+        )
+        future = self._executor.submit(_shm_client_round, job_blob)
+        return _ShmHandle(future, client, slot)
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for slot in self._slots:
+            slot.shm.close()
+            try:
+                slot.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._slots = []
+        self._current = None
+        for record in self._shards.values():
+            record.shm.close()
+            try:
+                record.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._shards = {}
+        self._template = None
+
+
+# ---------------------------------------------------------------------------
+# Pickling process backend (regression baseline)
+# ---------------------------------------------------------------------------
+
+
 def _process_client_round(
     client: Client,
     model: SegmentedModel,
@@ -175,13 +501,13 @@ class _ProcessHandle:
         return update
 
 
-class ProcessPoolBackend(ExecutionBackend):
+class PicklingProcessPoolBackend(ExecutionBackend):
     """Worker processes; each job ships client + model replica by pickle.
 
     Heavyweight per job (the client's shard and a model replica cross the
-    process boundary every round), so this pays off only when local rounds
-    are expensive relative to their state. See ROADMAP open items for the
-    shared-memory weight plan.
+    process boundary every round). Superseded by the shared-memory
+    :class:`ProcessPoolBackend`; retained as the baseline the benchmark
+    regression test compares payload sizes and results against.
     """
 
     def __init__(self, max_workers: int | None = None):

@@ -57,6 +57,8 @@ class ScheduledEvent:
     handle: Any = field(compare=False, default=None)
     #: broadcast state the client was dispatched with (FedBuff deltas need it)
     snapshot: Any = field(compare=False, default=None)
+    #: client RNG state at dispatch time (checkpoints re-dispatch from it)
+    rng_state: Any = field(compare=False, default=None)
 
 
 class EventQueue:
@@ -78,6 +80,7 @@ class EventQueue:
         kind: str = "update",
         handle: Any = None,
         snapshot: Any = None,
+        rng_state: Any = None,
     ) -> ScheduledEvent:
         event = ScheduledEvent(
             time=float(time),
@@ -88,6 +91,7 @@ class EventQueue:
             kind=kind,
             handle=handle,
             snapshot=snapshot,
+            rng_state=rng_state,
         )
         self._seq += 1
         heapq.heappush(self._heap, event)
@@ -101,3 +105,20 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Virtual time of the next event, or None when the queue is empty."""
         return self._heap[0].time if self._heap else None
+
+    def snapshot(self) -> list[ScheduledEvent]:
+        """Pending events in processing order (checkpointing support)."""
+        return sorted(self._heap)
+
+    @property
+    def next_seq(self) -> int:
+        """Dispatch-sequence number the next :meth:`push` will assign."""
+        return self._seq
+
+    def restore(self, events: list[ScheduledEvent], next_seq: int) -> None:
+        """Rebuild the queue from checkpointed events, keeping their seqs."""
+        if self._heap or self._seq:
+            raise ValueError("restore requires a fresh event queue")
+        self._heap = list(events)
+        heapq.heapify(self._heap)
+        self._seq = int(next_seq)

@@ -13,11 +13,22 @@ order, and every scheduler RNG draw are independent of how the backend
 parallelises the numeric work, so the same seed yields an identical event
 log — and identical final weights — under Serial, ThreadPool and
 ProcessPool backends alike.
+
+Checkpointing: every dispatch records the client's RNG state, so a
+checkpoint (an :class:`AsyncRunState`) can describe in-flight rounds
+without serialising backend handles — on resume they are simply
+re-dispatched from their recorded RNG state and broadcast snapshot,
+reproducing the identical event sequence.
+:func:`repro.fl.checkpoint.save_async_checkpoint` /
+``resume_async_federated_training`` own the on-disk format.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
 
 from repro.engine.aggregators import AsyncAggregator
 from repro.engine.availability import AlwaysAvailable, AvailabilityModel
@@ -28,6 +39,44 @@ from repro.fl.client import Client
 from repro.fl.server import Server
 from repro.fl.timing import TimingModel
 from repro.utils import make_rng
+
+
+@dataclass
+class AsyncRunState:
+    """Everything needed to continue an async run to the identical event
+    sequence — backend-invariant by construction.
+
+    In-flight rounds are stored as *pending dispatches* (client id, event
+    time/seq, dispatch version, dispatch-time RNG state) plus the broadcast
+    snapshot of each dispatched-from model version; resuming re-submits
+    them. Idle clients' RNG streams are stored directly — for a client with
+    a round in flight the parent-side stream position depends on the
+    backend (serial advances at submit, process at collection), so only the
+    dispatch-time state is recorded for those.
+    """
+
+    clock_now: float
+    scheduler_rng_state: dict
+    #: client id -> current RNG state, idle clients only (see above)
+    idle_rng_states: dict[int, dict]
+    #: serialized pending events: time, seq, client_id, dispatch_version,
+    #: duration, kind, rng_state — for updates the dispatch-time client
+    #: RNG state (resume re-runs the round from it), for drops the
+    #: client's current stream state (no round runs, but the stream must
+    #: survive the resume; the client is absent from the idle map)
+    pending: list[dict]
+    next_seq: int
+    #: dispatch_version -> broadcast state the version's rounds started from
+    snapshots: dict[int, dict[str, np.ndarray]]
+    #: FedBuff's buffered (delta, weight) pairs; empty for FedAsync
+    aggregator_state: list[tuple[dict[str, np.ndarray], float]]
+    records: list[EventRecord]
+    last_accuracy: float
+    cumulative_seconds: float
+    server_round_index: int
+    server_state: dict[str, np.ndarray]
+    #: run configuration echoed for validation and resume defaults
+    meta: dict
 
 
 def run_async_federated_training(
@@ -42,6 +91,10 @@ def run_async_federated_training(
     max_concurrency: int | None = None,
     eval_every: int = 1,
     verbose: bool = False,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    on_event: Callable[[EventRecord], None] | None = None,
+    resume: AsyncRunState | None = None,
 ) -> EventLog:
     """Process up to ``max_events`` client completions through ``aggregator``.
 
@@ -54,6 +107,18 @@ def run_async_federated_training(
     ``eval_every`` is in *model versions* (aggregations applied); records
     between evaluations carry the last measured accuracy with
     ``evaluated=False``.
+
+    With ``checkpoint_path`` and ``checkpoint_every > 0``, an
+    :class:`AsyncRunState` is written every ``checkpoint_every`` events;
+    :func:`repro.fl.checkpoint.resume_async_federated_training` continues
+    an interrupted run to the bitwise-identical event log and weights.
+    ``on_event`` is called after each processed event (after any checkpoint
+    write); an exception it raises aborts the run — the mechanism the
+    kill-and-resume tests use.
+
+    ``resume`` is internal: a restored state handed over by the resume
+    entry point in :mod:`repro.fl.checkpoint`. The caller must restore the
+    server's weights and round index before the call.
     """
     if max_events <= 0:
         raise ValueError("max_events must be positive")
@@ -61,6 +126,10 @@ def run_async_federated_training(
         raise ValueError("eval_every must be positive")
     if not clients:
         raise ValueError("client pool is empty")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be non-negative")
+    if checkpoint_every and not checkpoint_path:
+        raise ValueError("checkpoint_every requires a checkpoint_path")
     timing = timing or TimingModel()
     availability = availability or AlwaysAvailable()
     owns_backend = backend is None
@@ -79,6 +148,20 @@ def run_async_federated_training(
     last_accuracy = 0.0
     cumulative_seconds = 0.0
     dropout_p = float(getattr(availability, "dropout_probability", 0.0))
+
+    if resume is not None:
+        clock = VirtualClock(resume.clock_now)
+        rng.bit_generator.state = resume.scheduler_rng_state
+        log = EventLog(records=list(resume.records))
+        last_accuracy = float(resume.last_accuracy)
+        cumulative_seconds = float(resume.cumulative_seconds)
+        aggregator.state_restore(resume.aggregator_state)
+        idle = set(range(len(clients))) - {
+            int(p["client_id"]) for p in resume.pending
+        }
+        for cid, state in resume.idle_rng_states.items():
+            clients[int(cid)].rng.bit_generator.state = state
+        in_flight = len(resume.pending)
 
     def dispatch_ready() -> None:
         """Fill free slots with idle clients that are online right now.
@@ -104,6 +187,9 @@ def run_async_federated_training(
                 # The round is lost partway through; the local work never
                 # runs (the result would be discarded), but the simulated
                 # seconds up to the abort still count as wasted client time.
+                # The client RNG is still recorded: the client is absent
+                # from a checkpoint's idle map while the drop is pending,
+                # and its stream must survive the resume.
                 drop_fraction = float(rng.uniform(0.1, 0.9))
                 queue.push(
                     clock.now + drop_fraction * duration,
@@ -111,8 +197,10 @@ def run_async_federated_training(
                     dispatch_version=version,
                     duration=drop_fraction * duration,
                     kind="drop",
+                    rng_state=client.rng.bit_generator.state,
                 )
             else:
+                rng_state = client.rng.bit_generator.state
                 snapshot = server.broadcast()
                 handle = backend.submit(client, server.model, snapshot, timing)
                 queue.push(
@@ -123,19 +211,84 @@ def run_async_federated_training(
                     kind="update",
                     handle=handle,
                     snapshot=snapshot,
+                    rng_state=rng_state,
                 )
 
-    def advance_to_next_online() -> bool:
-        """No events pending: jump the clock to the next client arrival."""
-        times = [
-            t
-            for cid in idle
-            if (t := availability.next_online(cid, clock.now)) is not None
-        ]
-        if not times:
-            return False
-        clock.advance_to(min(times))
-        return True
+    if resume is not None:
+        # Re-dispatch the checkpointed in-flight rounds from their recorded
+        # dispatch-time RNG states and broadcast snapshots, preserving the
+        # original event times and tie-break sequence numbers.
+        restored: list[ScheduledEvent] = []
+        for p in sorted(resume.pending, key=lambda d: int(d["seq"])):
+            cid = int(p["client_id"])
+            kind = str(p["kind"])
+            handle = snapshot = None
+            if kind == "update":
+                snapshot = resume.snapshots[int(p["dispatch_version"])]
+                client = clients[cid]
+                client.rng.bit_generator.state = p["rng_state"]
+                handle = backend.submit(client, server.model, snapshot, timing)
+            elif p["rng_state"] is not None:
+                # A pending drop runs no local round, but the client's
+                # stream (advanced by its earlier rounds) must be restored
+                # for the rounds it will run after the drop completes.
+                clients[cid].rng.bit_generator.state = p["rng_state"]
+            restored.append(
+                ScheduledEvent(
+                    time=float(p["time"]),
+                    seq=int(p["seq"]),
+                    client_id=cid,
+                    dispatch_version=int(p["dispatch_version"]),
+                    duration=float(p["duration"]),
+                    kind=kind,
+                    handle=handle,
+                    snapshot=snapshot,
+                    rng_state=p.get("rng_state"),
+                )
+            )
+        queue.restore(restored, int(resume.next_seq))
+
+    def capture_state() -> AsyncRunState:
+        """Snapshot the run between two events (see :class:`AsyncRunState`)."""
+        pending = []
+        snapshots: dict[int, dict[str, np.ndarray]] = {}
+        for ev in queue.snapshot():
+            pending.append(
+                {
+                    "time": ev.time,
+                    "seq": ev.seq,
+                    "client_id": ev.client_id,
+                    "dispatch_version": ev.dispatch_version,
+                    "duration": ev.duration,
+                    "kind": ev.kind,
+                    "rng_state": ev.rng_state,
+                }
+            )
+            if ev.kind == "update":
+                snapshots[ev.dispatch_version] = ev.snapshot
+        return AsyncRunState(
+            clock_now=clock.now,
+            scheduler_rng_state=rng.bit_generator.state,
+            idle_rng_states={
+                cid: clients[cid].rng.bit_generator.state for cid in sorted(idle)
+            },
+            pending=pending,
+            next_seq=queue.next_seq,
+            snapshots=snapshots,
+            aggregator_state=aggregator.state_export(),
+            records=list(log.records),
+            last_accuracy=last_accuracy,
+            cumulative_seconds=cumulative_seconds,
+            server_round_index=server.round_index,
+            server_state=server.global_state,
+            meta={
+                "max_events": max_events,
+                "eval_every": eval_every,
+                "max_concurrency": max_concurrency,
+                "seed": seed,
+                "num_clients": len(clients),
+            },
+        )
 
     def process(event: ScheduledEvent) -> EventRecord:
         nonlocal cumulative_seconds, last_accuracy, in_flight
@@ -180,6 +333,18 @@ def run_async_federated_training(
             mean_local_loss=update.mean_loss,
         )
 
+    def advance_to_next_online() -> bool:
+        """No events pending: jump the clock to the next client arrival."""
+        times = [
+            t
+            for cid in idle
+            if (t := availability.next_online(cid, clock.now)) is not None
+        ]
+        if not times:
+            return False
+        clock.advance_to(min(times))
+        return True
+
     try:
         dispatch_ready()
         while len(log) < max_events:
@@ -201,6 +366,17 @@ def run_async_federated_training(
                 )
             if len(log) < max_events:
                 dispatch_ready()
+            if (
+                checkpoint_path
+                and checkpoint_every > 0
+                and len(log) % checkpoint_every == 0
+            ):
+                # Local import: fl.checkpoint imports this module for resume.
+                from repro.fl.checkpoint import save_async_checkpoint
+
+                save_async_checkpoint(checkpoint_path, capture_state())
+            if on_event is not None:
+                on_event(record)
         # Fold any remainder stranded in a partial buffer (FedBuff) into
         # the model: its client seconds are already on the bill. The flush
         # is logged as a server-side event with client_id = -1.

@@ -8,7 +8,12 @@ records paper-vs-measured values.
 """
 
 from repro.experiments.scales import SCALES, Scale, get_scale
-from repro.experiments.common import ExperimentHarness, MethodSpec, STANDARD_METHODS
+from repro.experiments.common import (
+    ExperimentHarness,
+    HARNESS_MODES,
+    MethodSpec,
+    STANDARD_METHODS,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 
 __all__ = [
@@ -16,6 +21,7 @@ __all__ = [
     "SCALES",
     "get_scale",
     "ExperimentHarness",
+    "HARNESS_MODES",
     "MethodSpec",
     "STANDARD_METHODS",
     "EXPERIMENTS",

@@ -16,6 +16,11 @@ decided in seconds, not events. Staleness discounting is disabled here —
 with a 10× speed spread the stragglers' updates are the only carriers of
 their shards' classes, and discounting them caps accuracy well below the
 synchronous baseline.
+
+The modes themselves are this experiment's subject, so the harness
+``mode`` is ignored; the async runs execute client rounds on the harness
+``backend`` (serial/thread/shared-memory process — results are bitwise
+identical either way).
 """
 
 from __future__ import annotations
@@ -84,15 +89,17 @@ def run(
             if mode == "fedbuff":
                 expected_versions = max_events // buffer_size
             eval_every = max(1, expected_versions // (EVALS_PER_ROUND * rounds))
-            histories[mode] = run_async_federated_training(
-                server,
-                clients,
-                aggregator,
-                max_events=max_events,
-                seed=run_seed + 1,
-                timing=timing,
-                eval_every=eval_every,
-            )
+            with harness.make_run_backend() as backend:
+                histories[mode] = run_async_federated_training(
+                    server,
+                    clients,
+                    aggregator,
+                    max_events=max_events,
+                    seed=run_seed + 1,
+                    timing=timing,
+                    backend=backend,
+                    eval_every=eval_every,
+                )
 
     target = TARGET_FRACTION * histories["sync"].best_accuracy
     rows = []

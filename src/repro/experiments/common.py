@@ -4,6 +4,16 @@ One :class:`ExperimentHarness` per (scale, seed) builds every dataset and
 pretrained model once and shares them across the methods of a table, the
 same way the paper's baselines share a common setup. Partitions are cached
 per (dataset, alpha, clients) so every method sees identical client shards.
+
+The harness also owns the campaign's *training mode* and *execution
+backend*: with ``mode="fedasync"`` or ``"fedbuff"`` every
+:meth:`ExperimentHarness.federated` run is driven by the event engine
+(:func:`repro.engine.runner.run_async_federated_training`) on an equal
+total-work budget (``rounds × num_clients`` completion events), and with
+``backend="thread"``/``"process"`` client rounds execute in parallel
+workers — bitwise identical to serial by the engine's determinism
+contract. ``repro-experiments --mode fedbuff --backend process`` therefore
+regenerates any paper table asynchronously at process-parallel speed.
 """
 
 from __future__ import annotations
@@ -16,6 +26,10 @@ import numpy as np
 from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
 from repro.data.synthetic import DomainSpec
+from repro.engine.aggregators import make_aggregator
+from repro.engine.backends import BACKENDS, ExecutionBackend, make_backend
+from repro.engine.records import EventLog
+from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
 from repro.fl.rounds import TrainingHistory, run_federated_training
 from repro.fl.sampling import FractionParticipation, FullParticipation
@@ -87,13 +101,19 @@ STANDARD_METHODS: dict[str, MethodSpec] = {
 
 @dataclass
 class RunResult:
-    """A federated run plus derived metrics (and optional client states)."""
+    """A federated run plus derived metrics (and optional client states).
+
+    ``history`` is a :class:`~repro.fl.rounds.TrainingHistory` for
+    synchronous runs and an :class:`~repro.engine.records.EventLog` for
+    event-engine runs; both expose the shared summary surface the reports
+    consume (``accuracies``, ``best_accuracy``, ``seconds_to_accuracy``).
+    """
 
     method: MethodSpec
     dataset: str
     alpha: float
     num_clients: int
-    history: TrainingHistory
+    history: TrainingHistory | EventLog
     efficiency: LearningEfficiency
     client_states: list[dict[str, np.ndarray]] = field(default_factory=list)
 
@@ -108,18 +128,62 @@ def _stable_seed(*parts) -> int:
     return zlib.crc32(text.encode()) & 0x7FFFFFFF
 
 
-class ExperimentHarness:
-    """Builds and caches the shared pieces of one experiment campaign."""
+#: Training modes a harness (and every registered experiment) accepts.
+HARNESS_MODES = ("sync", "fedasync", "fedbuff")
 
-    def __init__(self, scale: Scale | str = "default", seed: int = 0):
+
+class ExperimentHarness:
+    """Builds and caches the shared pieces of one experiment campaign.
+
+    ``mode``/``backend`` select the campaign-wide training loop and
+    execution substrate (see the module docstring); the async knobs mirror
+    :class:`~repro.core.fedft_eds.FedFTEDSConfig` defaults. Individual
+    :meth:`federated` calls may override both.
+    """
+
+    def __init__(
+        self,
+        scale: Scale | str = "default",
+        seed: int = 0,
+        mode: str = "sync",
+        backend: str = "serial",
+        max_workers: int | None = None,
+        async_mixing: float = 0.6,
+        staleness_exponent: float = 0.5,
+        buffer_size: int = 4,
+        server_lr: float = 1.0,
+        evals_per_round: int = 8,
+    ):
+        if mode not in HARNESS_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {HARNESS_MODES}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if evals_per_round <= 0:
+            raise ValueError("evals_per_round must be positive")
         self.scale = get_scale(scale) if isinstance(scale, str) else scale
         self.seed = seed
+        self.mode = mode
+        self.backend = backend
+        self.max_workers = max_workers
+        self.async_mixing = async_mixing
+        self.staleness_exponent = staleness_exponent
+        self.buffer_size = buffer_size
+        self.server_lr = server_lr
+        self.evals_per_round = evals_per_round
         self.timing = TimingModel(flops_per_second=1e9)
         self._world = None
         self._source_domain = None
         self._specs: dict[tuple[str, str], DomainSpec] = {}
         self._pretrained: dict[tuple[str, str], dict[str, np.ndarray]] = {}
         self._partitions: dict[tuple, list[np.ndarray]] = {}
+
+    def make_run_backend(self, backend: str | None = None) -> ExecutionBackend:
+        """Instantiate the campaign's execution backend (caller closes it)."""
+        return make_backend(backend or self.backend, self.max_workers)
 
     # -- world and datasets -------------------------------------------------
     @property
@@ -309,9 +373,24 @@ class ExperimentHarness:
         model_kind: str = "main",
         collect_client_states: bool = False,
         verbose: bool = False,
+        mode: str | None = None,
+        backend: str | None = None,
     ) -> RunResult:
-        """Run one federated method under the shared setup."""
+        """Run one federated method under the shared setup.
+
+        ``mode``/``backend`` default to the harness-wide campaign settings.
+        Asynchronous modes run the event engine on an equal-work budget of
+        ``rounds × num_clients`` completion events; a
+        ``participation_fraction`` below 1 maps to the engine's concurrency
+        cap (at most that fraction of the pool trains at once — the async
+        analogue of per-round partial participation).
+        """
         s = self.scale
+        mode = mode or self.mode
+        if mode not in HARNESS_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {HARNESS_MODES}"
+            )
         server, clients, run_seed = self.build_federation(
             dataset,
             method,
@@ -328,15 +407,69 @@ class ExperimentHarness:
         rounds = rounds or (
             s.rounds if model_kind == "main" else s.conv_rounds
         )
-        history = run_federated_training(
-            server,
-            clients,
-            rounds=rounds,
-            seed=run_seed + 1,
-            participation=participation,
-            timing=self.timing,
-            verbose=verbose,
-        )
+        if mode == "sync":
+            backend_name = backend or self.backend
+            if backend_name == "serial":
+                # Inline execution in the server's workspace model — the
+                # seed behaviour, with no replica copies.
+                history = run_federated_training(
+                    server,
+                    clients,
+                    rounds=rounds,
+                    seed=run_seed + 1,
+                    participation=participation,
+                    timing=self.timing,
+                    verbose=verbose,
+                )
+            else:
+                with self.make_run_backend(backend) as run_backend:
+                    history = run_federated_training(
+                        server,
+                        clients,
+                        rounds=rounds,
+                        seed=run_seed + 1,
+                        participation=participation,
+                        timing=self.timing,
+                        backend=run_backend,
+                        verbose=verbose,
+                    )
+        else:
+            aggregator = make_aggregator(
+                mode,
+                mixing=self.async_mixing,
+                staleness_exponent=self.staleness_exponent,
+                buffer_size=self.buffer_size,
+                server_lr=self.server_lr,
+            )
+            max_events = rounds * num_clients
+            # Evaluating after every aggregation would dominate wall-clock
+            # (FedAsync creates one model version per completion); budget
+            # ~evals_per_round full test-set evaluations per round's worth
+            # of events.
+            expected_versions = max_events
+            if mode == "fedbuff":
+                expected_versions = max(1, max_events // self.buffer_size)
+            eval_every = max(
+                1, expected_versions // (self.evals_per_round * rounds)
+            )
+            max_concurrency = num_clients
+            if participation_fraction < 1.0:
+                max_concurrency = max(
+                    1, int(round(participation_fraction * num_clients))
+                )
+            with self.make_run_backend(backend) as run_backend:
+                history = run_async_federated_training(
+                    server,
+                    clients,
+                    aggregator,
+                    max_events=max_events,
+                    seed=run_seed + 1,
+                    timing=self.timing,
+                    backend=run_backend,
+                    max_concurrency=max_concurrency,
+                    eval_every=eval_every,
+                    verbose=verbose,
+                )
         result = RunResult(
             method=method,
             dataset=dataset,

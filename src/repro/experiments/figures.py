@@ -4,6 +4,13 @@ Figures are emitted as text tables / numeric series (no plotting deps
 offline); the JSON payloads contain the full series so they can be plotted
 elsewhere. Fig. 5/6 reuse the Table II run matrix and Figs. 7-9 the Table
 III matrix via the shared ``context`` cache.
+
+All federated runs honour the harness ``mode``/``backend``: asynchronous
+modes produce per-event accuracy series (one point per processed
+completion instead of per lock-step round) from the event engine at equal
+total work, and thread/process backends parallelise client rounds with
+bitwise-identical results. Fig. 1 only scores a frozen model, so only the
+CKA/curve/efficiency figures are affected.
 """
 
 from __future__ import annotations

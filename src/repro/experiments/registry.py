@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import (
     async_stragglers,
+    fedbuff_sweep,
     figures,
     table1,
     table2,
@@ -54,6 +55,10 @@ EXPERIMENTS: dict[str, tuple[Runner, str]] = {
     "async_stragglers": (
         async_stragglers.run,
         "async engine (FedAsync/FedBuff) vs sync under stragglers",
+    ),
+    "fedbuff_sweep": (
+        fedbuff_sweep.run,
+        "FedBuff buffer-size (K) sweep under stragglers",
     ),
 }
 

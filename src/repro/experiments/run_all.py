@@ -4,8 +4,13 @@ Usage::
 
     repro-experiments --scale default --output results/default
     repro-experiments --scale smoke --only table2,fig6
+    repro-experiments --mode fedbuff --backend process --only table3
 
 Reports are printed and saved as ``<output>/<experiment>.{txt,json}``.
+``--mode`` switches every experiment's federated runs to the event engine
+(FedAsync/FedBuff on an equal-work event budget), and ``--backend`` moves
+client local training into thread or shared-memory process workers —
+bitwise identical to serial by the engine's determinism contract.
 """
 
 from __future__ import annotations
@@ -14,7 +19,8 @@ import argparse
 import sys
 import time
 
-from repro.experiments.common import ExperimentHarness
+from repro.engine.backends import BACKENDS
+from repro.experiments.common import ExperimentHarness, HARNESS_MODES
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.scales import SCALES
 
@@ -44,6 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for .txt/.json reports (default: print only)",
     )
     parser.add_argument(
+        "--mode",
+        choices=HARNESS_MODES,
+        default="sync",
+        help="training mode for every federated run (default: sync)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend for client rounds (default: serial)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process backends (default: auto)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -55,10 +79,15 @@ def run_experiments(
     only: list[str] | None = None,
     output: str | None = None,
     stream=sys.stdout,
+    mode: str = "sync",
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports."""
     ids = only or list_experiments()
-    harness = ExperimentHarness(scale, seed=seed)
+    harness = ExperimentHarness(
+        scale, seed=seed, mode=mode, backend=backend, max_workers=max_workers
+    )
     context: dict = {}
     reports = {}
     for experiment_id in ids:
@@ -83,7 +112,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:8s} {description}")
         return 0
     only = args.only.split(",") if args.only else None
-    run_experiments(args.scale, seed=args.seed, only=only, output=args.output)
+    run_experiments(
+        args.scale,
+        seed=args.seed,
+        only=only,
+        output=args.output,
+        mode=args.mode,
+        backend=args.backend,
+        max_workers=args.max_workers,
+    )
     return 0
 
 

@@ -10,6 +10,12 @@ much larger at Diri(0.1) than Diri(0.5).
 
 Uses the convolutional model: pretraining a deep feature extractor is the
 phenomenon under study.
+
+Honours the harness ``mode``/``backend``: with ``mode="fedasync"`` or
+``"fedbuff"`` every federated run is driven by the event engine on an
+equal-work event budget (``rounds × num_clients``), and thread/process
+backends execute client rounds in parallel workers with bitwise-identical
+results.
 """
 
 from __future__ import annotations

@@ -7,6 +7,12 @@ upper bound.
 Expected shape (paper): FedFT-EDS best among federated methods; both FedFT
 variants beat every full-model baseline; pretraining beats scratch;
 centralised on top.
+
+Honours the harness ``mode``/``backend``: asynchronous modes replace the
+lock-step rounds with the event engine at equal total work
+(``rounds × num_clients`` completions), and thread/process backends
+parallelise client rounds with bitwise-identical results. The centralised
+upper bound is unaffected.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ Expected shape (paper): FedFT-EDS beats FedAvg even at full FedAvg
 participation, the gap grows when FedAvg loses clients to straggling, EDS >
 RDS at both selection levels, and — the paper's critical finding —
 FedFT-EDS (50%) beats FedFT-ALL (100%): not all client data is beneficial.
+
+Honours the harness ``mode``/``backend``: under the asynchronous modes the
+partial-participation rows (fn < 100%) map to the event engine's
+concurrency cap — at most ``fn × num_clients`` clients train at once —
+while thread/process backends parallelise the rounds with
+bitwise-identical results.
 """
 
 from __future__ import annotations

@@ -6,6 +6,10 @@ low-level structure with the pretraining domain (speech vs images).
 Expected shape (paper): pretraining still helps a lot even across domains;
 EDS > RDS at both Pds levels, with the clearest margin at Pds = 50%; a
 large gap remains to centralised training.
+
+Honours the harness ``mode``/``backend``: asynchronous modes drive the
+same pool through the event engine at equal total work; thread/process
+backends parallelise client rounds with bitwise-identical results.
 """
 
 from __future__ import annotations

@@ -31,8 +31,11 @@ from repro.fl.sampling import (
 from repro.fl.timing import TimingModel, straggler_multipliers
 from repro.fl.rounds import RoundRecord, TrainingHistory, run_federated_training
 from repro.fl.checkpoint import (
+    load_async_checkpoint,
     load_checkpoint,
+    resume_async_federated_training,
     resume_federated_training,
+    save_async_checkpoint,
     save_checkpoint,
 )
 from repro.fl.communication import (
@@ -65,6 +68,9 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "resume_federated_training",
+    "save_async_checkpoint",
+    "load_async_checkpoint",
+    "resume_async_federated_training",
     "round_communication",
     "campaign_communication",
     "communication_reduction",

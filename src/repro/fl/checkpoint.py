@@ -1,20 +1,32 @@
 """Checkpointing: persist and resume a federated campaign.
 
 Long campaigns (the `paper` scale runs for days in NumPy) need restart
-safety. A checkpoint captures the global model state, the round index and
-the run history; resuming reconstructs the server and continues
-``run_federated_training`` from the next round.
+safety. A *synchronous* checkpoint captures the global model state, the
+round index and the run history; resuming reconstructs the server and
+continues ``run_federated_training`` from the next round. Synchronous
+client-side RNG states are *not* captured, so a resumed sync run is
+statistically equivalent but not bitwise identical to an uninterrupted one
+— the docstring of :func:`resume_federated_training` spells this out.
 
-Client-side RNG states are *not* captured (numpy generators are not
-portably serialisable), so a resumed run is statistically equivalent but
-not bitwise identical to an uninterrupted one — the docstring of
-:func:`resume_federated_training` spells this out.
+*Asynchronous* (`EventLog`) runs checkpoint strictly stronger state: the
+virtual clock, the scheduler and per-client RNG streams, the pending event
+queue (in-flight rounds as re-dispatchable descriptors), the FedBuff
+buffer and the event log itself — everything in
+:class:`~repro.engine.runner.AsyncRunState`. A resumed async run replays
+the *bitwise-identical* event sequence, accuracies and final weights of an
+uninterrupted run, under every execution backend. The on-disk format is a
+directory of one JSON document (scalars, RNG states, event metadata) plus
+``.npz`` archives for the weight-shaped payloads (server state, broadcast
+snapshots of in-flight versions, buffered FedBuff deltas); see DESIGN.md
+("Async checkpoint format").
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -28,6 +40,15 @@ from repro.fl.sampling import ParticipationModel
 from repro.fl.server import Server
 from repro.fl.timing import TimingModel
 from repro.nn.serialization import load_state, save_state
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
+    # repro.fl's package init imports this module, and the engine modules
+    # import repro.fl submodules; engine imports here stay function-local)
+    from repro.engine.aggregators import AsyncAggregator
+    from repro.engine.availability import AvailabilityModel
+    from repro.engine.backends import ExecutionBackend
+    from repro.engine.records import EventLog, EventRecord
+    from repro.engine.runner import AsyncRunState
 
 
 def save_checkpoint(path: str, server: Server, history: TrainingHistory) -> None:
@@ -130,3 +151,263 @@ def resume_federated_training(
         )
     server.round_index = total_rounds
     return history
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous (EventLog) checkpoints
+# ---------------------------------------------------------------------------
+
+_ASYNC_STATE_FILE = "async_state.json"
+#: npz key separator; parameter names are dotted paths and never contain it
+_SEP = "::"
+#: payload files are generation-suffixed: async_<payload>-<generation>.npz
+_ASYNC_PAYLOADS = ("server", "snapshots", "buffer")
+
+
+def _jsonable(obj):
+    """Make RNG-state dicts and numpy scalars JSON-round-trippable.
+
+    PCG64 states are plain (big-)int dicts; bit generators with array state
+    (Philox, SFC64) are wrapped with an explicit dtype marker so the round
+    trip is exact.
+    """
+    if isinstance(obj, dict):
+        return {key: _jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def _unjsonable(obj):
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return np.array(obj["__ndarray__"], dtype=obj["dtype"])
+        return {key: _unjsonable(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_unjsonable(value) for value in obj]
+    return obj
+
+
+def _fsync_file(path: str) -> None:
+    """Flush a written file (or directory) to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _current_generation(path: str) -> int:
+    """Generation of the committed checkpoint in ``path`` (0 if none)."""
+    try:
+        with open(os.path.join(path, _ASYNC_STATE_FILE)) as handle:
+            return int(json.load(handle)["generation"])
+    except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+        # No committed manifest (or a legacy/torn one): derive from the
+        # payload files present so new writes never reuse their names.
+        generation = 0
+        for name in os.listdir(path) if os.path.isdir(path) else []:
+            stem, _, suffix = name.rpartition("-")
+            if stem.startswith("async_") and suffix.endswith(".npz"):
+                try:
+                    generation = max(generation, int(suffix[:-4]))
+                except ValueError:
+                    pass
+        return generation
+
+
+def save_async_checkpoint(path: str, state: "AsyncRunState") -> None:
+    """Write an async run state under ``path`` (a directory), atomically.
+
+    The state is backend-invariant (see
+    :class:`~repro.engine.runner.AsyncRunState`), so a run checkpointed
+    under one execution backend can resume under another.
+
+    Crash safety — checkpoints exist precisely to survive the process
+    dying at an arbitrary instruction, including mid-save: the weight
+    payloads are written under fresh generation-suffixed names (never
+    clobbering the committed set), then the JSON manifest referencing them
+    is swapped in with an atomic ``os.replace``. A crash at any point
+    leaves the previous complete checkpoint loadable; superseded payload
+    files are garbage-collected on the next successful save.
+    """
+    os.makedirs(path, exist_ok=True)
+    generation = _current_generation(path) + 1
+    files = {
+        payload: f"async_{payload}-{generation}.npz"
+        for payload in _ASYNC_PAYLOADS
+    }
+    save_state(os.path.join(path, files["server"]), state.server_state)
+    np.savez(
+        os.path.join(path, files["snapshots"]),
+        **{
+            f"{version}{_SEP}{key}": value
+            for version, snapshot in state.snapshots.items()
+            for key, value in snapshot.items()
+        },
+    )
+    np.savez(
+        os.path.join(path, files["buffer"]),
+        **{
+            f"{index}{_SEP}{key}": value
+            for index, (delta, _) in enumerate(state.aggregator_state)
+            for key, value in delta.items()
+        },
+    )
+    payload = {
+        "generation": generation,
+        "files": files,
+        "clock_now": state.clock_now,
+        "scheduler_rng_state": _jsonable(state.scheduler_rng_state),
+        "idle_rng_states": {
+            str(cid): _jsonable(rng_state)
+            for cid, rng_state in state.idle_rng_states.items()
+        },
+        "pending": [
+            {**pending, "rng_state": _jsonable(pending["rng_state"])}
+            for pending in state.pending
+        ],
+        "next_seq": state.next_seq,
+        "buffer_weights": [
+            weight for _, weight in state.aggregator_state
+        ],
+        "records": [asdict(record) for record in state.records],
+        "last_accuracy": state.last_accuracy,
+        "cumulative_seconds": state.cumulative_seconds,
+        "server_round_index": state.server_round_index,
+        "meta": state.meta,
+    }
+    # Order matters on disk, not just in the process: payloads must be
+    # durable before the manifest referencing them is — a power loss with
+    # the manifest committed but a payload still in the page cache would
+    # strand an unloadable checkpoint after the old generation is GC'd.
+    for name in files.values():
+        _fsync_file(os.path.join(path, name))
+    manifest = os.path.join(path, _ASYNC_STATE_FILE)
+    staging = manifest + ".tmp"
+    with open(staging, "w") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, manifest)
+    _fsync_file(path)  # the rename itself lives in the directory entry
+    for name in os.listdir(path):  # best-effort GC of superseded payloads
+        if name.startswith("async_") and name.endswith(".npz"):
+            if name not in files.values():
+                try:
+                    os.remove(os.path.join(path, name))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+
+def load_async_checkpoint(path: str) -> "AsyncRunState":
+    """Read an async run state written by :func:`save_async_checkpoint`."""
+    from repro.engine.records import EventRecord
+    from repro.engine.runner import AsyncRunState
+
+    with open(os.path.join(path, _ASYNC_STATE_FILE)) as handle:
+        payload = json.load(handle)
+    files = payload["files"]
+    server_state = load_state(os.path.join(path, files["server"]))
+    snapshots: dict[int, dict[str, np.ndarray]] = {}
+    with np.load(os.path.join(path, files["snapshots"])) as archive:
+        for name in archive.files:
+            version, key = name.split(_SEP, 1)
+            snapshots.setdefault(int(version), {})[key] = archive[name].copy()
+    deltas: dict[int, dict[str, np.ndarray]] = {}
+    with np.load(os.path.join(path, files["buffer"])) as archive:
+        for name in archive.files:
+            index, key = name.split(_SEP, 1)
+            deltas.setdefault(int(index), {})[key] = archive[name].copy()
+    weights = [float(w) for w in payload["buffer_weights"]]
+    if len(deltas) != len(weights):
+        raise ValueError(
+            f"corrupt checkpoint: {len(deltas)} buffered deltas vs "
+            f"{len(weights)} weights"
+        )
+    return AsyncRunState(
+        clock_now=float(payload["clock_now"]),
+        scheduler_rng_state=_unjsonable(payload["scheduler_rng_state"]),
+        idle_rng_states={
+            int(cid): _unjsonable(state)
+            for cid, state in payload["idle_rng_states"].items()
+        },
+        pending=[
+            {**pending, "rng_state": _unjsonable(pending["rng_state"])}
+            for pending in payload["pending"]
+        ],
+        next_seq=int(payload["next_seq"]),
+        snapshots=snapshots,
+        aggregator_state=[
+            (deltas[index], weights[index]) for index in sorted(deltas)
+        ],
+        records=[EventRecord(**record) for record in payload["records"]],
+        last_accuracy=float(payload["last_accuracy"]),
+        cumulative_seconds=float(payload["cumulative_seconds"]),
+        server_round_index=int(payload["server_round_index"]),
+        server_state=server_state,
+        meta=payload["meta"],
+    )
+
+
+def resume_async_federated_training(
+    path: str,
+    server: Server,
+    clients: list[Client],
+    aggregator: "AsyncAggregator",
+    timing: TimingModel | None = None,
+    backend: "ExecutionBackend | None" = None,
+    availability: "AvailabilityModel | None" = None,
+    verbose: bool = False,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    on_event: "Callable[[EventRecord], None] | None" = None,
+) -> "EventLog":
+    """Continue a checkpointed async run to its original ``max_events``.
+
+    Unlike the synchronous :func:`resume_federated_training`, the resumed
+    run is **bitwise identical** to an uninterrupted one: the virtual
+    clock, scheduler and client RNG streams, pending completions (re-run
+    from their dispatch-time RNG state and broadcast snapshot) and the
+    FedBuff buffer are all part of the checkpoint. The caller rebuilds the
+    federation (server, clients, aggregator, timing, availability) from
+    the same configuration as the original run — typically by re-running
+    the same deterministic setup code; everything the run *mutates* comes
+    from the checkpoint. ``max_events``, ``eval_every``,
+    ``max_concurrency`` and the scheduler seed are taken from the
+    checkpoint's metadata.
+    """
+    from repro.engine.runner import run_async_federated_training
+
+    state = load_async_checkpoint(path)
+    if state.meta["num_clients"] != len(clients):
+        raise ValueError(
+            f"checkpoint was written with {state.meta['num_clients']} "
+            f"clients but {len(clients)} were provided"
+        )
+    server.global_state = state.server_state
+    server.model.load_state_dict(state.server_state)
+    server.round_index = state.server_round_index
+    return run_async_federated_training(
+        server,
+        clients,
+        aggregator,
+        max_events=int(state.meta["max_events"]),
+        seed=int(state.meta["seed"]),
+        timing=timing,
+        backend=backend,
+        availability=availability,
+        max_concurrency=int(state.meta["max_concurrency"]),
+        eval_every=int(state.meta["eval_every"]),
+        verbose=verbose,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        on_event=on_event,
+        resume=state,
+    )

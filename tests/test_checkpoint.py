@@ -1,50 +1,30 @@
-"""Checkpoint/resume of federated campaigns."""
+"""Checkpoint/resume of federated campaigns (sync and async)."""
 
 import os
 
 import numpy as np
 import pytest
 
-from repro import nn
-from repro.data.dataset import ArrayDataset
-from repro.data.partition import iid_partition
+from repro.engine.aggregators import FedAsyncAggregator, FedBuffAggregator
+from repro.engine.availability import AlwaysAvailable
+from repro.engine.backends import ProcessPoolBackend
+from repro.engine.runner import run_async_federated_training
 from repro.fl.checkpoint import (
+    load_async_checkpoint,
     load_checkpoint,
+    resume_async_federated_training,
     resume_federated_training,
     save_checkpoint,
 )
-from repro.fl.client import Client
 from repro.fl.rounds import run_federated_training
-from repro.fl.selection import RandomSelector
-from repro.fl.server import Server
-from repro.fl.strategies import LocalSolver
 from repro.fl.timing import TimingModel
+from repro.testbed import tiny_federation
 
 RNG = np.random.default_rng
 
 
 def make_federation(seed=0, num_clients=3):
-    rng = RNG(seed)
-    n = 90
-    x = rng.normal(size=(n, 3, 2, 2))
-    y = rng.integers(0, 3, size=n)
-    train = ArrayDataset(x, y)
-    model = nn.MLP(12, (8, 8, 8), 3, rng)
-    shards = iid_partition(y, num_clients, rng)
-    clients = [
-        Client(
-            client_id=i,
-            dataset=train.subset(shard),
-            selector=RandomSelector(),
-            solver=LocalSolver(lr=0.05, batch_size=8),
-            selection_fraction=0.5,
-            epochs=1,
-            rng=RNG(seed + 5 + i),
-        )
-        for i, shard in enumerate(shards)
-    ]
-    server = Server(model, ArrayDataset(x[:30], y[:30]))
-    return server, clients
+    return tiny_federation(seed=seed, num_clients=num_clients)
 
 
 def test_checkpoint_roundtrip(tmp_path):
@@ -111,3 +91,307 @@ def test_resumed_model_keeps_learning(tmp_path):
     )
     # continuation should not collapse the model
     assert full.records[-1].test_accuracy >= history.best_accuracy - 0.2
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous (EventLog) checkpoint/resume
+# ---------------------------------------------------------------------------
+
+MAX_EVENTS = 14
+STRAGGLED = TimingModel(speed_multipliers={0: 6.0})
+
+
+class _Killed(Exception):
+    """Stands in for the process dying mid-run."""
+
+
+def _aggregator(kind):
+    if kind == "fedasync":
+        return FedAsyncAggregator(mixing=0.4, staleness_exponent=0.0)
+    # K chosen so the run ends with updates stranded in a partial buffer —
+    # the aggregator state the checkpoint must carry.
+    return FedBuffAggregator(buffer_size=3, staleness_exponent=0.0)
+
+
+def _run_uninterrupted(kind, **kwargs):
+    server, clients = make_federation()
+    log = run_async_federated_training(
+        server,
+        clients,
+        _aggregator(kind),
+        max_events=MAX_EVENTS,
+        seed=11,
+        timing=STRAGGLED,
+        **kwargs,
+    )
+    return server, log
+
+
+def _run_killed_then_resume(kind, kill_at, run_kwargs=None, resume_kwargs=None):
+    """Checkpoint every event, die at ``kill_at``, resume from disk."""
+
+    def bomb(record):
+        if record.event_index == kill_at:
+            raise _Killed
+
+    server, clients = make_federation()
+    import tempfile
+
+    path = tempfile.mkdtemp()
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator(kind),
+            max_events=MAX_EVENTS,
+            seed=11,
+            timing=STRAGGLED,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=bomb,
+            **(run_kwargs or {}),
+        )
+    # A crashed process rebuilds the federation from the same config …
+    server2, clients2 = make_federation()
+    # … and everything the run mutated comes back from the checkpoint.
+    log = resume_async_federated_training(
+        path,
+        server2,
+        clients2,
+        _aggregator(kind),
+        timing=STRAGGLED,
+        **(resume_kwargs or {}),
+    )
+    return server2, log
+
+
+def _logs_identical(a, b):
+    return [
+        (
+            r.event_index,
+            r.kind,
+            r.virtual_time,
+            r.client_id,
+            r.staleness,
+            r.model_version,
+            r.test_accuracy,
+            r.evaluated,
+            r.num_selected,
+            r.client_seconds,
+            r.cumulative_client_seconds,
+            r.mean_local_loss,
+        )
+        for r in a.records
+    ] == [
+        (
+            r.event_index,
+            r.kind,
+            r.virtual_time,
+            r.client_id,
+            r.staleness,
+            r.model_version,
+            r.test_accuracy,
+            r.evaluated,
+            r.num_selected,
+            r.client_seconds,
+            r.cumulative_client_seconds,
+            r.mean_local_loss,
+        )
+        for r in b.records
+    ]
+
+
+def _states_identical(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+@pytest.mark.parametrize("kind", ["fedasync", "fedbuff"])
+@pytest.mark.parametrize("kill_at", [0, 5, MAX_EVENTS - 1])
+def test_async_resume_is_bitwise_identical(kind, kill_at):
+    """Kill mid-stream, resume: EventLog and weights match exactly.
+
+    ``kill_at`` covers the first event (everything still in flight), the
+    middle (straggler round spanning the cut), and the final event (only
+    the FedBuff end-of-run flush and forced evaluation remain).
+    """
+    full_server, full_log = _run_uninterrupted(kind)
+    resumed_server, resumed_log = _run_killed_then_resume(kind, kill_at)
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(
+        full_server.global_state, resumed_server.global_state
+    )
+
+
+def test_async_resume_under_different_backend():
+    """Checkpoints are backend-invariant: serial run, process resume."""
+    full_server, full_log = _run_uninterrupted("fedbuff")
+    with ProcessPoolBackend(max_workers=2) as backend:
+        resumed_server, resumed_log = _run_killed_then_resume(
+            "fedbuff", kill_at=4, resume_kwargs={"backend": backend}
+        )
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(
+        full_server.global_state, resumed_server.global_state
+    )
+
+
+@pytest.mark.parametrize("kill_at", range(1, 8))
+def test_async_resume_with_dropouts(kill_at):
+    """Drop-pending clients keep their advanced RNG streams across resume.
+
+    Every kill point in the window is exercised: a drop carries no backend
+    handle, but the dropped client's stream (advanced by earlier rounds)
+    must survive — resetting it diverges only *later* in the run, which a
+    single lucky kill point would miss.
+    """
+    availability = AlwaysAvailable(dropout_probability=0.4)
+    full_server, full_log = _run_uninterrupted(
+        "fedasync", availability=availability
+    )
+    assert full_log.events_of_kind("drop"), "scenario must exercise drops"
+    resumed_server, resumed_log = _run_killed_then_resume(
+        "fedasync",
+        kill_at=kill_at,
+        run_kwargs={"availability": AlwaysAvailable(dropout_probability=0.4)},
+        resume_kwargs={"availability": AlwaysAvailable(dropout_probability=0.4)},
+    )
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(
+        full_server.global_state, resumed_server.global_state
+    )
+
+
+def test_async_checkpoint_roundtrip_structure(tmp_path):
+    """load(save(state)) preserves clocks, queues, buffers and the log."""
+    path = os.path.join(tmp_path, "ckpt")
+
+    def snap(record):
+        if record.event_index == 6:
+            raise _Killed
+
+    server, clients = make_federation()
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedbuff"),
+            max_events=MAX_EVENTS,
+            seed=11,
+            timing=STRAGGLED,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=snap,
+        )
+    state = load_async_checkpoint(path)
+    assert len(state.records) == 7
+    assert state.meta["max_events"] == MAX_EVENTS
+    assert state.meta["num_clients"] == len(clients)
+    assert state.clock_now == state.records[-1].virtual_time
+    # every pending event carries the client's RNG state (updates for
+    # re-dispatch, drops to preserve the stream); updates also a snapshot
+    for pending in state.pending:
+        assert pending["rng_state"] is not None
+        if pending["kind"] == "update":
+            assert int(pending["dispatch_version"]) in state.snapshots
+    # pending clients' streams are deliberately absent from the idle map
+    pending_ids = {int(p["client_id"]) for p in state.pending}
+    assert pending_ids.isdisjoint(state.idle_rng_states)
+    # FedBuff K=3: the buffer between flushes holds 0-2 deltas
+    assert 0 <= len(state.aggregator_state) < 3
+
+
+def test_async_checkpoint_survives_torn_save(tmp_path):
+    """A crash mid-save must leave the previous checkpoint loadable.
+
+    Simulates dying at the worst instruction: new-generation payload files
+    are half-written and the manifest swap never happened. The committed
+    manifest still references the old generation's intact files, and the
+    next successful save garbage-collects the wreckage.
+    """
+    import json
+
+    path = os.path.join(tmp_path, "ckpt")
+    server, clients = make_federation()
+
+    def bomb(record):
+        if record.event_index == 5:
+            raise _Killed
+
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedbuff"),
+            max_events=MAX_EVENTS,
+            seed=11,
+            timing=STRAGGLED,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=bomb,
+        )
+    before = load_async_checkpoint(path)
+    with open(os.path.join(path, "async_state.json")) as fh:
+        generation = json.load(fh)["generation"]
+    # torn next-generation payloads + an abandoned manifest staging file
+    torn = generation + 1
+    for payload in ("server", "snapshots", "buffer"):
+        with open(os.path.join(path, f"async_{payload}-{torn}.npz"), "wb") as fh:
+            fh.write(b"\x00garbage")
+    with open(os.path.join(path, "async_state.json.tmp"), "w") as fh:
+        fh.write('{"generation": %d, "files"' % torn)  # truncated JSON
+    after = load_async_checkpoint(path)
+    assert after.records == before.records
+    assert after.clock_now == before.clock_now
+    assert _states_identical(after.server_state, before.server_state)
+    # a new save commits a fresh generation (fully rewriting any torn
+    # same-numbered files before the manifest swap) and clears the rest
+    from repro.fl.checkpoint import save_async_checkpoint
+
+    save_async_checkpoint(path, before)
+    reloaded = load_async_checkpoint(path)
+    assert _states_identical(reloaded.server_state, before.server_state)
+    with open(os.path.join(path, "async_state.json")) as fh:
+        committed = json.load(fh)["files"]
+    leftovers = [
+        name
+        for name in os.listdir(path)
+        if name.endswith(".npz") and name not in committed.values()
+    ]
+    assert not leftovers, f"superseded payloads not collected: {leftovers}"
+
+
+def test_async_resume_rejects_wrong_pool_size(tmp_path):
+    path = os.path.join(tmp_path, "ckpt")
+    server, clients = make_federation()
+
+    def bomb(record):
+        raise _Killed
+
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedasync"),
+            max_events=MAX_EVENTS,
+            seed=11,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=bomb,
+        )
+    other_server, other_clients = make_federation(num_clients=5)
+    with pytest.raises(ValueError, match="clients"):
+        resume_async_federated_training(
+            path, other_server, other_clients, _aggregator("fedasync")
+        )
+
+
+def test_checkpoint_every_requires_path():
+    server, clients = make_federation()
+    with pytest.raises(ValueError, match="checkpoint_path"):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedasync"),
+            max_events=2,
+            checkpoint_every=1,
+        )

@@ -12,18 +12,9 @@ from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
 from repro.experiments.figures import run_fig1
 from repro.experiments.common import ExperimentHarness, STANDARD_METHODS
+from repro.testbed import ENGINE_SMOKE
 
 RNG = np.random.default_rng
-
-ENGINE_SMOKE = dict(
-    rounds=2,
-    num_clients=3,
-    train_size=120,
-    test_size=60,
-    pretrain_epochs=1,
-    local_epochs=1,
-    image_size=8,
-)
 
 
 def test_model_init_deterministic():
@@ -135,7 +126,7 @@ def test_async_engine_backend_independent():
 
 
 def test_process_backend_bitwise_identical_to_serial_sync():
-    """Worker processes round-trip client RNG state, so results match."""
+    """Shared-memory workers round-trip client RNG state, so results match."""
     serial = run_fedft_eds(
         FedFTEDSConfig(seed=13, backend="serial", **ENGINE_SMOKE)
     )
@@ -144,6 +135,51 @@ def test_process_backend_bitwise_identical_to_serial_sync():
     )
     assert np.array_equal(serial.history.accuracies, pooled.history.accuracies)
     assert _states_equal(_final_state(serial), _final_state(pooled))
+
+
+def test_process_backend_bitwise_identical_to_serial_async():
+    """The event log is invariant to shared-memory process execution too."""
+    serial = run_fedft_eds(
+        FedFTEDSConfig(
+            seed=5, mode="fedbuff", buffer_size=2, backend="serial",
+            **ENGINE_SMOKE,
+        )
+    )
+    pooled = run_fedft_eds(
+        FedFTEDSConfig(
+            seed=5, mode="fedbuff", buffer_size=2, backend="process",
+            max_workers=2, **ENGINE_SMOKE,
+        )
+    )
+    assert [
+        (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+        for r in serial.history.records
+    ] == [
+        (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+        for r in pooled.history.records
+    ]
+    assert np.array_equal(serial.history.accuracies, pooled.history.accuracies)
+    assert _states_equal(_final_state(serial), _final_state(pooled))
+
+
+def test_process_backend_reuses_state_and_shard_segments():
+    """One weight publish per model version, one shard segment per client
+    — the no-per-job-copies contract of the shared-memory backend."""
+    from repro.engine.backends import ProcessPoolBackend
+    from repro.fl.rounds import run_federated_training
+    from repro.testbed import tiny_federation
+
+    server, clients = tiny_federation()
+    with ProcessPoolBackend(max_workers=2) as backend:
+        run_federated_training(
+            server, clients, rounds=3, seed=0, backend=backend
+        )
+        stats = dict(backend.stats)
+    assert stats["jobs"] == 3 * len(clients)
+    assert stats["shard_segments"] == len(clients)
+    # one publish per round's broadcast; slots recycled, not accumulated
+    assert stats["state_publishes"] == 3
+    assert stats["state_segments"] <= 2
 
 
 def test_different_methods_share_partitions():

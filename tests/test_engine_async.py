@@ -21,16 +21,8 @@ from repro.fl.aggregation import apply_delta, mix_states, staleness_weight
 from repro.fl.rounds import RoundRecord, TrainingHistory, run_federated_training
 from repro.fl.sampling import BernoulliParticipation, ParticipationModel
 from repro.fl.timing import TimingModel, straggler_multipliers
-
-SMOKE = dict(
-    rounds=2,
-    num_clients=3,
-    train_size=120,
-    test_size=60,
-    pretrain_epochs=1,
-    local_epochs=1,
-    image_size=8,
-)
+from repro.testbed import ENGINE_SMOKE as SMOKE
+from repro.testbed import tiny_federation
 
 
 # -- clock ------------------------------------------------------------------
@@ -115,6 +107,103 @@ def test_make_aggregator_variants():
 
 
 # -- availability -------------------------------------------------------------
+def _run_async(availability=None, backend=None, max_events=12, seed=11):
+    """Drive the shared tiny federation through the event engine."""
+    from repro.engine.runner import run_async_federated_training
+
+    server, clients = tiny_federation()
+    timing = TimingModel(speed_multipliers={0: 4.0})
+    log = run_async_federated_training(
+        server,
+        clients,
+        FedAsyncAggregator(mixing=0.4, staleness_exponent=0.0),
+        max_events=max_events,
+        seed=seed,
+        timing=timing,
+        backend=backend,
+        availability=availability,
+    )
+    return server, log
+
+
+def test_client_never_available_is_never_dispatched():
+    """A trace with no (future) intervals excludes the client entirely."""
+    model = TraceAvailability(traces={1: []})
+    _, log = _run_async(availability=model)
+    assert len(log) == 12  # the others absorb the budget
+    assert all(r.client_id != 1 for r in log.records)
+
+
+def test_no_client_ever_available_ends_run_empty():
+    """next_online=None for everyone: the engine stops instead of spinning."""
+    model = TraceAvailability(traces={0: [], 1: [], 2: []})
+    _, log = _run_async(availability=model)
+    assert len(log) == 0
+
+
+def test_trace_window_edges_exactly_at_dispatch_time():
+    """Interval ends are exclusive, starts inclusive, at exact timestamps."""
+    model = TraceAvailability(traces={0: [(5.0, 10.0)]})
+    assert model.is_online(0, 5.0)  # start is inclusive
+    assert not model.is_online(0, 10.0)  # end is exclusive
+    assert model.next_online(0, 10.0) is None
+    assert model.next_online(0, 5.0) == 5.0
+    # arriving exactly at a gap end jumps to the next interval start
+    two = TraceAvailability(traces={0: [(0.0, 1.0), (4.0, 6.0)]})
+    assert two.next_online(0, 1.0) == 4.0
+
+
+def test_random_availability_window_boundary_is_consistent():
+    """t = k·period belongs to window k, matching next_online's answers."""
+    model = RandomAvailability(online_fraction=0.5, period=10.0, seed=7)
+    for window in range(20):
+        t = window * 10.0
+        online = model.is_online(0, t)
+        if online:
+            assert model.next_online(0, t) == t
+        else:
+            nxt = model.next_online(0, t)
+            assert nxt is None or (nxt > t and model.is_online(0, nxt))
+        if window > 0:
+            # the instant before the boundary belongs to the previous window
+            assert model.is_online(0, t - 1e-9) == model.is_online(
+                0, (window - 1) * 10.0
+            )
+    # negative times (before the federation starts) clamp to window 0
+    assert model.is_online(0, -1.0) == model.is_online(0, 0.0)
+
+
+def test_zero_probability_boundaries():
+    """p=0 Bernoulli participation is rejected; p=0 dropout never drops."""
+    with pytest.raises(ValueError):
+        BernoulliParticipation(0.0)
+    _, log = _run_async(availability=AlwaysAvailable(dropout_probability=0.0))
+    assert not log.events_of_kind("drop")
+    with pytest.raises(ValueError):
+        AlwaysAvailable(dropout_probability=1.0)  # certain loss is excluded
+
+
+def test_availability_rng_streams_stable_across_backends():
+    """Churn draws come from the scheduler stream: logs are backend-invariant."""
+    churn = lambda: RandomAvailability(  # noqa: E731 - test-local factory
+        online_fraction=0.6, period=3.0, seed=5, dropout_probability=0.2
+    )
+    _, serial_log = _run_async(availability=churn())
+    thread = make_backend("thread", max_workers=2)
+    process = make_backend("process", max_workers=2)
+    try:
+        _, thread_log = _run_async(availability=churn(), backend=thread)
+        _, process_log = _run_async(availability=churn(), backend=process)
+    finally:
+        thread.close()
+        process.close()
+    key = lambda log: [  # noqa: E731 - test-local projection
+        (r.virtual_time, r.client_id, r.kind, r.staleness, r.test_accuracy)
+        for r in log.records
+    ]
+    assert key(serial_log) == key(thread_log) == key(process_log)
+
+
 def test_random_availability_is_deterministic_and_windowed():
     a = RandomAvailability(online_fraction=0.5, period=10.0, seed=3)
     b = RandomAvailability(online_fraction=0.5, period=10.0, seed=3)

@@ -130,7 +130,7 @@ def test_registry_complete():
     expected = {
         "fig1", "table1", "fig2_4", "table2", "fig5", "fig6",
         "table3", "fig7", "fig8", "fig9", "table4",
-        "fig10a", "fig10b", "fig10c", "async_stragglers",
+        "fig10a", "fig10b", "fig10c", "async_stragglers", "fedbuff_sweep",
     }
     assert set(ids) == expected
     with pytest.raises(KeyError):
