@@ -86,3 +86,50 @@ def test_process_backend_shared_memory_vs_pickling(benchmark, harness):
     assert stats["state_publishes"] == ROUNDS
     assert stats["shard_segments"] == num_clients
     assert stats["state_segments"] <= 2
+
+
+def test_campaign_publishes_each_shard_once_across_runs(benchmark, harness):
+    """A 3-run campaign over the warm process backend publishes each
+    distinct client shard into shared memory exactly once — not once per
+    run — and reuses one worker pool throughout (the cross-run economy
+    `repro.engine.campaign` exists for)."""
+    num_clients = harness.scale.clients_large
+    methods = ["fedft_eds", "fedavg", "fedft_eds"]
+
+    def campaign():
+        results = []
+        for key in methods:
+            results.append(
+                harness.federated(
+                    DATASET,
+                    STANDARD_METHODS[key],
+                    ALPHA,
+                    num_clients,
+                    rounds=ROUNDS,
+                    backend="process",
+                )
+            )
+        return results
+
+    try:
+        results = run_once(benchmark, campaign)
+        pool = harness.segment_pool
+        backend = harness._campaign_backend
+        # every run of the campaign shares the cached partition, so the
+        # pool holds exactly one segment per client — runs 2 and 3 are
+        # pure hits
+        assert pool.stats["publishes"] == num_clients, pool.stats
+        assert pool.stats["hits"] == (len(methods) - 1) * num_clients
+        assert backend.stats["template_publishes"] == len(methods)
+        # identical method ⇒ identical run, campaign reuse notwithstanding
+        assert (
+            results[0].history.accuracies.tolist()
+            == results[2].history.accuracies.tolist()
+        )
+        benchmark.extra_info["shard_publishes"] = pool.stats["publishes"]
+        benchmark.extra_info["shard_hits"] = pool.stats["hits"]
+        benchmark.extra_info["distinct_clients"] = num_clients
+        benchmark.extra_info["runs"] = len(methods)
+    finally:
+        # tear down the campaign runtime; the session harness stays usable
+        harness.close()

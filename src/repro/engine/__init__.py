@@ -12,6 +12,9 @@ single process; this package removes both restrictions:
 - pluggable **execution backends** (:mod:`repro.engine.backends`) run
   client local training serially, in threads, or in processes, with
   bitwise-identical results;
+- a **campaign segment pool** (:mod:`repro.engine.campaign`) shares
+  shard segments and warm worker pools across the runs of one experiment
+  campaign, with crash-path cleanup of shared memory;
 - an **availability/dropout model** (:mod:`repro.engine.availability`)
   adds online/offline churn and mid-round dropouts.
 
@@ -39,6 +42,11 @@ from repro.engine.backends import (
     ThreadPoolBackend,
     make_backend,
 )
+from repro.engine.campaign import (
+    CampaignSegmentPool,
+    register_emergency_cleanup,
+    unregister_emergency_cleanup,
+)
 from repro.engine.clock import EventQueue, ScheduledEvent, VirtualClock
 from repro.engine.records import EventLog, EventRecord
 from repro.engine.runner import AsyncRunState, run_async_federated_training
@@ -59,6 +67,9 @@ __all__ = [
     "PicklingProcessPoolBackend",
     "BACKENDS",
     "make_backend",
+    "CampaignSegmentPool",
+    "register_emergency_cleanup",
+    "unregister_emergency_cleanup",
     "VirtualClock",
     "EventQueue",
     "ScheduledEvent",

@@ -25,6 +25,7 @@ from repro.fl.aggregation import (
     apply_delta,
     mix_states,
     staleness_weight,
+    subtract_states,
     weighted_average,
 )
 from repro.fl.server import Server
@@ -72,21 +73,44 @@ class AsyncAggregator:
                 f"carries {len(state)} buffered update(s)"
             )
 
+    def recycle(self, state: dict[str, np.ndarray]) -> None:
+        """Offer a retired model version's arrays for buffer reuse.
+
+        The engine calls this when the last in-flight round dispatched from
+        a superseded model version completes: nothing reads that version's
+        θ arrays again, so the aggregator may overwrite them instead of
+        allocating fresh accumulators (see ``out=`` in
+        :mod:`repro.fl.aggregation`). Ignoring the offer is always safe.
+        """
+
 
 @dataclass
 class FedAsyncAggregator(AsyncAggregator):
-    """Immediate staleness-weighted mixing (one version per update)."""
+    """Immediate staleness-weighted mixing (one version per update).
+
+    Retired model versions handed back through :meth:`recycle` feed the
+    next mix's ``out=`` buffers, so a long run reuses a bounded set of
+    θ-sized arrays instead of allocating one per event.
+    """
 
     mixing: float = 0.6  # the paper's α
     staleness_exponent: float = 0.5
+    _free: list[dict[str, np.ndarray]] = field(default_factory=list, repr=False)
 
     def __post_init__(self):
         if not 0.0 < self.mixing <= 1.0:
             raise ValueError(f"mixing must be in (0, 1], got {self.mixing}")
 
+    def recycle(self, state):
+        if len(self._free) < 4:
+            self._free.append(state)
+
     def apply(self, server, update, staleness, base_state):
         alpha = self.mixing * staleness_weight(staleness, self.staleness_exponent)
-        server.global_state = mix_states(server.global_state, update.theta, alpha)
+        out = self._free.pop() if self._free else None
+        server.global_state = mix_states(
+            server.global_state, update.theta, alpha, out=out
+        )
         server.round_index += 1
         return True
 
@@ -108,6 +132,13 @@ class FedBuffAggregator(AsyncAggregator):
     _buffer: list[tuple[dict[str, np.ndarray], float]] = field(
         default_factory=list, repr=False
     )
+    #: retired θ-array dicts reusable as delta buffers (flushed deltas and
+    #: dead broadcast versions offered through :meth:`recycle`)
+    _free: list[dict[str, np.ndarray]] = field(default_factory=list, repr=False)
+    #: persistent accumulator for the flush's weighted average
+    _merge_scratch: dict[str, np.ndarray] | None = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self):
         if self.buffer_size <= 0:
@@ -119,8 +150,13 @@ class FedBuffAggregator(AsyncAggregator):
     def pending(self) -> int:
         return len(self._buffer)
 
+    def recycle(self, state):
+        if len(self._free) < self.buffer_size + 4:
+            self._free.append(state)
+
     def apply(self, server, update, staleness, base_state):
-        delta = {k: update.theta[k] - base_state[k] for k in update.theta}
+        out = self._free.pop() if self._free else None
+        delta = subtract_states(update.theta, base_state, out=out)
         weight = max(1, update.num_selected) * staleness_weight(
             staleness, self.staleness_exponent
         )
@@ -133,12 +169,17 @@ class FedBuffAggregator(AsyncAggregator):
         if not self._buffer:
             return False
         merged = weighted_average(
-            [d for d, _ in self._buffer], [w for _, w in self._buffer]
+            [d for d, _ in self._buffer],
+            [w for _, w in self._buffer],
+            out=self._merge_scratch,
         )
         server.global_state = apply_delta(
             server.global_state, merged, lr=self.server_lr
         )
+        self._merge_scratch = merged
         server.round_index += 1
+        for delta, _ in self._buffer:
+            self.recycle(delta)
         self._buffer.clear()
         return True
 

@@ -12,10 +12,14 @@ sequence:
   own deep-copied model replica. NumPy releases the GIL inside the heavy
   kernels, so local training genuinely overlaps.
 - :class:`ProcessPoolBackend` — runs rounds in long-lived worker processes
-  that read global weights and client shards from
+  that read the model template, global weights and client shards from
   ``multiprocessing.shared_memory`` segments. Only a small job descriptor
   (segment names, layouts, RNG state) crosses the pipe per round, and only
-  the round's θ update and advanced RNG state come back.
+  the round's θ update and advanced RNG state come back. With a
+  :class:`~repro.engine.campaign.CampaignSegmentPool` and
+  ``persistent=True`` the workers and shard segments additionally survive
+  across the runs of one campaign (each shard is published once per
+  campaign, not once per run).
 - :class:`PicklingProcessPoolBackend` — the naive process backend that
   ships a full model replica plus the client (with its shard) per job;
   kept as the regression baseline the shared-memory benchmark compares
@@ -33,21 +37,34 @@ worker lifecycle.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
 import queue
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker, shared_memory
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.engine.campaign import (
+    register_emergency_cleanup,
+    unlink_segment,
+    unregister_emergency_cleanup,
+)
 
 from repro.data.dataset import ArrayDataset
 from repro.fl.client import Client
 from repro.fl.strategies import LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (campaign imports the
+    # layout helpers below, so the runtime import goes the other way)
+    from repro.engine.campaign import CampaignSegmentPool, PoolSegment
 
 #: environment override for the worker start method ("fork" | "spawn" |
 #: "forkserver"); CI runs the determinism suite under spawn through this.
@@ -218,14 +235,22 @@ def _untracked_attach(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
-#: per-worker caches: the model replica shipped once at startup, attached
-#: segments by name, and reconstructed clients by shard-segment name.
-_WORKER: dict = {"model": None, "segments": {}, "clients": {}}
+#: per-worker caches: model replicas by template-segment name (workers are
+#: campaign-lived, so a new run's template arrives as a new segment, not a
+#: pool restart), attached segments by name, and reconstructed clients by
+#: (shard-segment name, client-descriptor digest) — the same shard hosts a
+#: different client descriptor per method of a campaign.
+_WORKER: dict = {"models": {}, "segments": {}, "clients": {}}
+
+#: model replicas a worker keeps alive at once; a campaign uses one
+#: template per run, so 2 covers the running run plus its predecessor.
+_WORKER_MODEL_CACHE = 2
 
 
-def _shm_worker_init(template_blob: bytes) -> None:
-    """Worker startup: unpickle the model replica once, reset caches."""
-    _WORKER["model"] = pickle.loads(template_blob)
+def _shm_worker_init() -> None:
+    """Worker startup: reset the caches (fresh under spawn, paranoid under
+    fork, where the parent's module state was inherited)."""
+    _WORKER["models"] = {}
     _WORKER["segments"] = {}
     _WORKER["clients"] = {}
 
@@ -238,25 +263,53 @@ def _worker_segment(name: str) -> shared_memory.SharedMemory:
     return seg
 
 
+def _worker_model(name: str, nbytes: int) -> SegmentedModel:
+    """The worker's replica of the template published in segment ``name``.
+
+    The pickled template is read from shared memory exactly once per
+    (worker, template); the attachment is closed immediately — only the
+    unpickled replica is cached. Older replicas (and the clients rebuilt
+    against them — a client cached for run N must not train in run N+1's
+    replica) are evicted beyond a small window so a long campaign's workers
+    do not accumulate one model per run.
+    """
+    model = _WORKER["models"].get(name)
+    if model is None:
+        seg = _untracked_attach(name)
+        try:
+            model = pickle.loads(bytes(seg.buf[:nbytes]))
+        finally:
+            seg.close()
+        while len(_WORKER["models"]) >= _WORKER_MODEL_CACHE:
+            evicted = next(iter(_WORKER["models"]))
+            del _WORKER["models"][evicted]
+            for key in [k for k in _WORKER["clients"] if k[0] == evicted]:
+                del _WORKER["clients"][key]
+        _WORKER["models"][name] = model
+    return model
+
+
 def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict]:
     """Worker entry point: run one round against shared-memory state.
 
-    The job descriptor carries only names/layouts/RNG state; weights and
-    the shard are read from the attached segments. Returns the update plus
-    the advanced client RNG state, exactly like the pickling backend.
+    The job descriptor carries only names/layouts/RNG state; the template,
+    weights and the shard are read from the attached segments. Returns the
+    update plus the advanced client RNG state, exactly like the pickling
+    backend.
     """
     job = pickle.loads(job_blob)
-    model = _WORKER["model"]
+    model = _worker_model(job["template_name"], job["template_nbytes"])
     state_seg = _worker_segment(job["state_name"])
     global_state = _view_arrays(state_seg.buf, job["state_layout"])
-    client = _WORKER["clients"].get(job["shard_name"])
+    client_key = (job["template_name"], job["shard_name"], job["client_digest"])
+    client = _WORKER["clients"].get(client_key)
     if client is None:
         client = pickle.loads(job["client_blob"])
         shard_seg = _worker_segment(job["shard_name"])
         shard = _view_arrays(shard_seg.buf, job["shard_layout"])
         # float64/int64 views pass through ArrayDataset without a copy.
         client.dataset = ArrayDataset(shard["x"], shard["y"])
-        _WORKER["clients"][job["shard_name"]] = client
+        _WORKER["clients"][client_key] = client
     client.rng = np.random.default_rng(0)
     client.rng.bit_generator.state = job["rng_state"]
     update = client.run_round(model, global_state, timing=job["timing"])
@@ -283,29 +336,60 @@ class _StateSlot:
 
 @dataclass
 class _ShardRecord:
-    """Parent-side registration of one client's shard segment."""
+    """Parent-side registration of one client's shard segment.
+
+    ``pool_key`` is set when the segment belongs to a campaign pool (the
+    backend then holds a reference instead of owning the segment);
+    ``digest`` fingerprints the dataset-free client descriptor so workers
+    cache one rebuilt client per (template, shard, descriptor).
+    """
 
     shm: shared_memory.SharedMemory
     layout: dict
     client_blob: bytes
     client: Client  # pins the client object so the id() key stays valid
+    digest: str
+    pool_key: object | None = None
+
+
+@dataclass
+class _TemplateRecord:
+    """One model template published into shared memory for the workers.
+
+    ``refs`` counts in-flight jobs dispatched against the template; a
+    superseded template's segment is only unlinked once every such job has
+    been collected (workers read the segment lazily on their first job).
+    """
+
+    shm: shared_memory.SharedMemory
+    nbytes: int
+    template: SegmentedModel  # pins the object so the id() key stays valid
+    refs: int = 0
 
 
 class _ShmHandle:
-    """Resolves a worker future, mirrors the RNG advance, releases the slot."""
+    """Resolves a worker future, mirrors the RNG advance, releases refs."""
 
-    __slots__ = ("_future", "_client", "_slot")
+    __slots__ = ("_future", "_client", "_slot", "_template")
 
-    def __init__(self, future: Future, client: Client, slot: _StateSlot):
+    def __init__(
+        self,
+        future: Future,
+        client: Client,
+        slot: _StateSlot,
+        template: _TemplateRecord,
+    ):
         self._future = future
         self._client = client
         self._slot = slot
+        self._template = template
 
     def result(self) -> LocalUpdate:
         try:
             update, rng_state = self._future.result()
         finally:
             self._slot.refs -= 1
+            self._template.refs -= 1
         self._client.rng.bit_generator.state = rng_state
         return update
 
@@ -313,13 +397,24 @@ class _ShmHandle:
 class ProcessPoolBackend(ExecutionBackend):
     """Long-lived worker processes over shared-memory weights and shards.
 
-    The parent publishes each distinct broadcast state once into a
-    refcounted shared-memory slot and each client's shard once into its own
+    The parent publishes the model template and each distinct broadcast
+    state once into shared memory and each client's shard once into its own
     segment; workers attach lazily and cache the attachment plus the
     reconstructed client. A job descriptor is then a few kilobytes
     (segment names, layouts, the client's RNG state and the timing model),
     independent of model and shard size — the property
     ``benchmarks/bench_process_backend.py`` guards.
+
+    Campaign scope: because templates travel through shared memory (not the
+    pool initializer), a new run's different template never restarts the
+    workers. With ``segment_pool`` (a
+    :class:`~repro.engine.campaign.CampaignSegmentPool`) shards of clients
+    carrying a ``shard_key`` are published into — and reused from — the
+    campaign-wide pool; with ``persistent=True``, ``close()`` becomes the
+    end-of-run soft close (:meth:`end_run`): workers stay warm and pool
+    segments stay published for the campaign's next run. Call
+    :meth:`shutdown` (or close with ``persistent=False``, the default) for
+    full teardown.
 
     ``start_method`` defaults to the :data:`START_METHOD_ENV` environment
     variable, falling back to the platform default context.
@@ -329,41 +424,65 @@ class ProcessPoolBackend(ExecutionBackend):
         self,
         max_workers: int | None = None,
         start_method: str | None = None,
+        segment_pool: "CampaignSegmentPool | None" = None,
+        persistent: bool = False,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
         self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
+        self.segment_pool = segment_pool
+        self.persistent = persistent
         self._executor: ProcessPoolExecutor | None = None
-        self._template: SegmentedModel | None = None
         self._slots: list[_StateSlot] = []
         self._current: _StateSlot | None = None
         self._shards: dict[int, _ShardRecord] = {}
+        self._templates: dict[int, _TemplateRecord] = {}
+        self._inflight: set[Future] = set()
+        self._inflight_lock = threading.Lock()
         self.stats = {
             "jobs": 0,
             "state_publishes": 0,
             "state_segments": 0,
             "shard_segments": 0,
+            "template_publishes": 0,
             "job_payload_bytes": 0,
             "max_job_payload_bytes": 0,
         }
+        register_emergency_cleanup(self)
 
     # -- worker pool --------------------------------------------------------
-    def _ensure_started(self, template: SegmentedModel) -> None:
-        if self._executor is not None and template is self._template:
-            return
+    def _ensure_started(self) -> None:
         if self._executor is not None:
-            # A different template means a different federation; restart the
-            # pool so every worker replica matches (rare: once per run).
-            self._executor.shutdown(wait=True)
+            return
         context = get_context(self.start_method) if self.start_method else None
         self._executor = ProcessPoolExecutor(
             max_workers=self.max_workers,
             mp_context=context,
             initializer=_shm_worker_init,
-            initargs=(pickle.dumps(template),),
         )
-        self._template = template
+
+    def _ensure_template(self, template: SegmentedModel) -> _TemplateRecord:
+        """Publish ``template`` into shared memory once per distinct object.
+
+        Publishing a new template supersedes older ones: any with no jobs
+        still in flight are unlinked immediately (one run's template is
+        dead weight once the next run starts).
+        """
+        record = self._templates.get(id(template))
+        if record is not None:
+            return record
+        blob = pickle.dumps(template)
+        shm = shared_memory.SharedMemory(create=True, size=max(len(blob), 1))
+        shm.buf[: len(blob)] = blob
+        for tid, old in list(self._templates.items()):
+            if old.refs == 0:
+                unlink_segment(old.shm)
+                del self._templates[tid]
+        record = _TemplateRecord(shm=shm, nbytes=len(blob), template=template)
+        self._templates[id(template)] = record
+        self.stats["template_publishes"] += 1
+        return record
 
     # -- shared-memory publication -------------------------------------------
     def _publish_state(self, global_state: dict[str, np.ndarray]) -> _StateSlot:
@@ -399,41 +518,64 @@ class ProcessPoolBackend(ExecutionBackend):
         record = self._shards.get(id(client))
         if record is not None:
             return record
-        x, y = client.dataset.arrays()
-        arrays = {
-            "x": np.ascontiguousarray(x, dtype=np.float64),
-            "y": np.ascontiguousarray(y, dtype=np.int64),
-        }
-        layout, nbytes = _array_layout(arrays)
-        shm = shared_memory.SharedMemory(create=True, size=nbytes)
-        _write_arrays(shm.buf, layout, arrays)
         # Ship everything about the client except the heavy shard and the
         # RNG (whose state travels per job); shallow copy keeps subclasses.
         clone = copy.copy(client)
         clone.dataset = None
         clone.rng = None
-        record = _ShardRecord(
-            shm=shm,
-            layout=layout,
-            client_blob=pickle.dumps(clone),
-            client=client,
-        )
+        client_blob = pickle.dumps(clone)
+        digest = hashlib.blake2b(client_blob, digest_size=12).hexdigest()
+
+        def shard_arrays() -> dict[str, np.ndarray]:
+            x, y = client.dataset.arrays()
+            return {
+                "x": np.ascontiguousarray(x, dtype=np.float64),
+                "y": np.ascontiguousarray(y, dtype=np.int64),
+            }
+
+        pool_key = getattr(client, "shard_key", None)
+        if self.segment_pool is not None and pool_key is not None:
+            segment = self.segment_pool.acquire(pool_key, shard_arrays)
+            record = _ShardRecord(
+                shm=segment.shm,
+                layout=segment.layout,
+                client_blob=client_blob,
+                client=client,
+                digest=digest,
+                pool_key=pool_key,
+            )
+        else:
+            arrays = shard_arrays()
+            layout, nbytes = _array_layout(arrays)
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            _write_arrays(shm.buf, layout, arrays)
+            record = _ShardRecord(
+                shm=shm,
+                layout=layout,
+                client_blob=client_blob,
+                client=client,
+                digest=digest,
+            )
         self._shards[id(client)] = record
         self.stats["shard_segments"] = len(self._shards)
         return record
 
     # -- ExecutionBackend interface ------------------------------------------
     def submit(self, client, template, global_state, timing):
-        self._ensure_started(template)
+        self._ensure_started()
+        template_record = self._ensure_template(template)
         slot = self._publish_state(global_state)
         shard = self._ensure_shard(client)
         job_blob = pickle.dumps(
             {
+                "template_name": template_record.shm.name,
+                "template_nbytes": template_record.nbytes,
                 "state_name": slot.shm.name,
                 "state_layout": slot.layout,
                 "shard_name": shard.shm.name,
                 "shard_layout": shard.layout,
                 "client_blob": shard.client_blob,
+                "client_digest": shard.digest,
                 "rng_state": client.rng.bit_generator.state,
                 "timing": timing,
             }
@@ -443,29 +585,104 @@ class ProcessPoolBackend(ExecutionBackend):
         self.stats["max_job_payload_bytes"] = max(
             self.stats["max_job_payload_bytes"], len(job_blob)
         )
+        template_record.refs += 1
         future = self._executor.submit(_shm_client_round, job_blob)
-        return _ShmHandle(future, client, slot)
+        with self._inflight_lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._inflight_done)
+        return _ShmHandle(future, client, slot, template_record)
+
+    def _inflight_done(self, future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(future)
+
+    def _drain_inflight(self) -> None:
+        """Block until no submitted job is still executing.
+
+        Close can arrive with jobs in flight (an exception propagating out
+        of a run's ``with backend:`` block); segments must not be
+        recycled or unlinked while a worker may still read them.
+        """
+        with self._inflight_lock:
+            pending = list(self._inflight)
+        if pending:
+            futures_wait(pending)
+
+    def _release_shards(self) -> None:
+        """Release pool references and unlink backend-owned shard segments."""
+        for record in self._shards.values():
+            if record.pool_key is not None:
+                if self.segment_pool is not None:
+                    self.segment_pool.release(record.pool_key)
+            else:
+                unlink_segment(record.shm)
+        self._shards = {}
+
+    def end_run(self) -> None:
+        """Soft close between two runs of one campaign.
+
+        Waits out any jobs still in flight (an aborted run's handles may
+        never be collected), then drops everything tied to the finished
+        run — shard registrations (pool refs released, own segments
+        unlinked), the current-state pin, state-slot reader counts and all
+        template segments — while keeping the workers, the recycled state
+        slots and the pool's shard segments warm for the next run.
+        """
+        self._drain_inflight()
+        self._release_shards()
+        self._current = None
+        # With nothing executing, abandoned handles can no longer protect
+        # their reads: every slot is reusable and every template is dead
+        # (the next run brings its own template object).
+        for slot in self._slots:
+            slot.refs = 0
+            slot.state = None
+        for record in self._templates.values():
+            unlink_segment(record.shm)
+        self._templates = {}
 
     def close(self):
+        """Per-run close: full teardown, or :meth:`end_run` when persistent."""
+        if self.persistent:
+            self.end_run()
+            return
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Full teardown: stop the workers and unlink every owned segment."""
+        self._drain_inflight()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
         for slot in self._slots:
-            slot.shm.close()
-            try:
-                slot.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            unlink_segment(slot.shm)
         self._slots = []
         self._current = None
-        for record in self._shards.values():
-            record.shm.close()
-            try:
-                record.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        self._release_shards()
+        for record in self._templates.values():
+            unlink_segment(record.shm)
+        self._templates = {}
+        unregister_emergency_cleanup(self)
+
+    def _emergency_cleanup(self) -> None:
+        """Crash-path unlink (atexit/signal); idempotent, never raises.
+
+        Only backend-owned segments are touched — pool segments belong to
+        the :class:`~repro.engine.campaign.CampaignSegmentPool`, which
+        registers its own cleanup. The executor is left alone: its workers
+        die with the process, and joining them is not signal-safe.
+        """
+        for slot in self._slots:
+            unlink_segment(slot.shm)
+        self._slots = []
+        self._current = None
+        for record in list(self._shards.values()):
+            if record.pool_key is None:
+                unlink_segment(record.shm)
         self._shards = {}
-        self._template = None
+        for record in self._templates.values():
+            unlink_segment(record.shm)
+        self._templates = {}
 
 
 # ---------------------------------------------------------------------------
@@ -538,13 +755,25 @@ BACKENDS = ("serial", "thread", "process")
 
 
 def make_backend(
-    name: str, max_workers: int | None = None
+    name: str,
+    max_workers: int | None = None,
+    segment_pool: "CampaignSegmentPool | None" = None,
+    persistent: bool = False,
 ) -> ExecutionBackend:
-    """Instantiate an execution backend by short name."""
+    """Instantiate an execution backend by short name.
+
+    ``segment_pool``/``persistent`` only apply to the process backend (see
+    :class:`ProcessPoolBackend`); the serial and thread backends hold no
+    cross-run state worth pooling.
+    """
     if name == "serial":
         return SerialBackend()
     if name == "thread":
         return ThreadPoolBackend(max_workers=max_workers)
     if name == "process":
-        return ProcessPoolBackend(max_workers=max_workers)
+        return ProcessPoolBackend(
+            max_workers=max_workers,
+            segment_pool=segment_pool,
+            persistent=persistent,
+        )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

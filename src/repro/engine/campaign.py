@@ -1,0 +1,253 @@
+"""Campaign-scoped shared-memory runtime: cross-run segment reuse.
+
+A *campaign* (one :class:`~repro.experiments.common.ExperimentHarness`
+driving the full experiment matrix) runs many federated runs over the same
+partitioned worlds. Before this module, every run's
+:class:`~repro.engine.backends.ProcessPoolBackend` re-published each
+client's shard into fresh ``multiprocessing.shared_memory`` segments —
+O(dataset) copy work and segment churn per run, for bytes that are
+identical across every method of a table (the harness caches partitions
+precisely so methods compare on the same shards).
+
+:class:`CampaignSegmentPool` lifts shard segments to campaign scope: a
+refcounted registry keyed by the shard's *identity* — the harness uses
+``(seed, dataset, alpha, num_clients, model_kind, client_id)``, i.e. the
+world + partition seed + client id — so each distinct shard is published
+once per campaign and every subsequent run (and its warm worker pool)
+attaches to the existing segment. Lifecycle:
+
+- ``acquire(key, factory)`` returns the segment for ``key``, publishing it
+  with the factory's arrays only on first use; each acquire takes one
+  reference.
+- ``release(key)`` drops a reference (a backend releases its shards when
+  its run ends). Zero-reference segments stay resident — the next run
+  re-acquires them for free — until ``trim()`` (evict idle segments) or
+  ``close()`` (unlink everything).
+
+The module also owns the *emergency cleanup registry*: shared-memory
+segments are files under ``/dev/shm`` that outlive a crashed process, so
+pools and backends register themselves for a best-effort unlink on
+interpreter exit (``atexit``) and on fatal signals (SIGTERM/SIGHUP —
+deliveries that normally bypass ``atexit``). Handlers chain to whatever
+was installed before them and guard on the registering PID, so forked
+worker processes inheriting the handler never unlink the parent's
+segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Callable, Hashable
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Emergency cleanup registry (atexit + fatal-signal best effort)
+# ---------------------------------------------------------------------------
+
+_CLEANUP_LOCK = threading.Lock()
+_CLEANUP: "weakref.WeakSet" = weakref.WeakSet()
+_HANDLERS_INSTALLED = False
+#: signals that terminate the process without running ``atexit`` hooks
+_FATAL_SIGNALS = tuple(
+    sig
+    for name in ("SIGTERM", "SIGHUP")
+    if (sig := getattr(signal, name, None)) is not None
+)
+
+
+def _run_emergency_cleanup() -> None:
+    """Unlink every registered owner's segments; never raises."""
+    pid = os.getpid()
+    with _CLEANUP_LOCK:
+        owners = list(_CLEANUP)
+    for owner in owners:
+        # Fork children inherit the registry; only the creating process
+        # owns the segments' lifetime.
+        if getattr(owner, "_owner_pid", pid) != pid:
+            continue
+        try:
+            owner._emergency_cleanup()
+        except Exception:  # pragma: no cover - cleanup must never throw
+            pass
+
+
+def _cleanup_and_reraise(signum: int, frame) -> None:
+    _run_emergency_cleanup()
+    # Restore the default disposition and re-deliver so the exit status
+    # still reports death-by-signal.
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_signal_handlers() -> None:
+    """Intercept fatal signals that would bypass ``atexit`` — and only those.
+
+    A signal is taken over only while its disposition is ``SIG_DFL``
+    (terminate without cleanup). Anything else is the application's
+    decision and must keep working: ``SIG_IGN`` (e.g. ``nohup``'s SIGHUP)
+    keeps the process alive, and a custom handler may shut down gracefully
+    — in both cases segments must stay valid, and a graceful exit reaches
+    the ``atexit`` hook anyway.
+    """
+    global _HANDLERS_INSTALLED
+    if _HANDLERS_INSTALLED:
+        return
+    for sig in _FATAL_SIGNALS:
+        try:
+            if signal.getsignal(sig) is signal.SIG_DFL:
+                signal.signal(sig, _cleanup_and_reraise)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            return  # leave _HANDLERS_INSTALLED False; atexit still covers us
+    _HANDLERS_INSTALLED = True
+
+
+def register_emergency_cleanup(owner) -> None:
+    """Best-effort segment unlink for ``owner`` if the process dies uncleanly.
+
+    ``owner`` must expose an idempotent ``_emergency_cleanup()``; it is held
+    weakly, so explicit ``close()`` + garbage collection unregisters it
+    naturally. Registration is per-process (``_owner_pid`` is stamped here).
+    """
+    owner._owner_pid = os.getpid()
+    with _CLEANUP_LOCK:
+        _CLEANUP.add(owner)
+    _install_signal_handlers()
+
+
+def unregister_emergency_cleanup(owner) -> None:
+    with _CLEANUP_LOCK:
+        _CLEANUP.discard(owner)
+
+
+atexit.register(_run_emergency_cleanup)
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Detach and unlink a segment, tolerating one already unlinked.
+
+    The single unlink idiom shared by the pool, the process backend and
+    the emergency-cleanup paths, so lifetime fixes land in one place.
+    """
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Campaign segment pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolSegment:
+    """One published shard segment plus its bookkeeping."""
+
+    key: Hashable
+    shm: shared_memory.SharedMemory
+    #: packed layout ``name -> (offset, shape, dtype.str)`` (see backends)
+    layout: dict
+    nbytes: int
+    #: backends currently holding this segment (a run in progress)
+    refs: int = 0
+
+
+class CampaignSegmentPool:
+    """Refcounted, campaign-lifetime registry of shared-memory segments.
+
+    Not thread-safe for concurrent acquire/release from multiple scheduler
+    threads; a campaign runs its federated runs sequentially, which is the
+    supported pattern. ``stats`` counts ``publishes`` (segments actually
+    created — the number the campaign benchmark pins to the distinct-client
+    count), ``hits`` (acquires served from the registry) and ``segments``
+    (currently resident).
+    """
+
+    def __init__(self):
+        self._segments: dict[Hashable, PoolSegment] = {}
+        self._closed = False
+        self.stats = {"publishes": 0, "hits": 0, "segments": 0}
+        register_emergency_cleanup(self)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def acquire(
+        self,
+        key: Hashable,
+        arrays_factory: Callable[[], dict[str, np.ndarray]],
+    ) -> PoolSegment:
+        """The segment for ``key``, published on first use; takes one ref.
+
+        ``arrays_factory`` is only called (and its arrays only copied into
+        shared memory) when the key is new — the point of the pool.
+        """
+        # Import here: backends imports campaign consumers lazily and the
+        # layout helpers live next to the other segment code.
+        from repro.engine.backends import _array_layout, _write_arrays
+
+        if self._closed:
+            raise RuntimeError("segment pool is closed")
+        segment = self._segments.get(key)
+        if segment is None:
+            arrays = arrays_factory()
+            layout, nbytes = _array_layout(arrays)
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            _write_arrays(shm.buf, layout, arrays)
+            segment = PoolSegment(key=key, shm=shm, layout=layout, nbytes=nbytes)
+            self._segments[key] = segment
+            self.stats["publishes"] += 1
+            self.stats["segments"] = len(self._segments)
+        else:
+            self.stats["hits"] += 1
+        segment.refs += 1
+        return segment
+
+    def release(self, key: Hashable) -> None:
+        """Drop one reference; the segment stays resident for the next run."""
+        segment = self._segments.get(key)
+        if segment is None:
+            return
+        segment.refs = max(0, segment.refs - 1)
+
+    def trim(self) -> int:
+        """Unlink idle (zero-ref) segments; returns how many were evicted."""
+        evicted = 0
+        for key in [k for k, s in self._segments.items() if s.refs == 0]:
+            unlink_segment(self._segments.pop(key).shm)
+            evicted += 1
+        self.stats["segments"] = len(self._segments)
+        return evicted
+
+    def close(self) -> None:
+        """Unlink every segment; the pool may not be reused after."""
+        for segment in self._segments.values():
+            unlink_segment(segment.shm)
+        self._segments = {}
+        self.stats["segments"] = 0
+        self._closed = True
+        unregister_emergency_cleanup(self)
+
+    def _emergency_cleanup(self) -> None:
+        """Crash-path unlink (atexit/signal); idempotent, never raises."""
+        for segment in list(self._segments.values()):
+            try:
+                unlink_segment(segment.shm)
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._segments = {}
+        self._closed = True
+
+    def __enter__(self) -> "CampaignSegmentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -148,6 +148,24 @@ def run_async_federated_training(
     last_accuracy = 0.0
     cumulative_seconds = 0.0
     dropout_p = float(getattr(availability, "dropout_probability", 0.0))
+    #: dispatch_version -> [broadcast snapshot, in-flight update count];
+    #: when the count of a *superseded* version reaches zero, nothing will
+    #: ever read its θ arrays again and they are recycled into the
+    #: aggregator's ``out=`` buffer pool (see AsyncAggregator.recycle).
+    live_versions: dict[int, list] = {}
+
+    def _retain_version(version: int, snapshot) -> None:
+        entry = live_versions.setdefault(version, [snapshot, 0])
+        entry[1] += 1
+
+    def _sweep_dead_versions() -> None:
+        for version in [
+            v
+            for v, entry in live_versions.items()
+            if entry[1] <= 0 and v < server.round_index
+        ]:
+            snapshot, _ = live_versions.pop(version)
+            aggregator.recycle(snapshot)
 
     if resume is not None:
         clock = VirtualClock(resume.clock_now)
@@ -202,6 +220,7 @@ def run_async_federated_training(
             else:
                 rng_state = client.rng.bit_generator.state
                 snapshot = server.broadcast()
+                _retain_version(version, snapshot)
                 handle = backend.submit(client, server.model, snapshot, timing)
                 queue.push(
                     clock.now + duration,
@@ -227,6 +246,7 @@ def run_async_federated_training(
                 snapshot = resume.snapshots[int(p["dispatch_version"])]
                 client = clients[cid]
                 client.rng.bit_generator.state = p["rng_state"]
+                _retain_version(int(p["dispatch_version"]), snapshot)
                 handle = backend.submit(client, server.model, snapshot, timing)
             elif p["rng_state"] is not None:
                 # A pending drop runs no local round, but the client's
@@ -315,6 +335,10 @@ def run_async_federated_training(
         update = backend.result(event.handle)
         cumulative_seconds += update.train_seconds
         applied = aggregator.apply(server, update, staleness, event.snapshot)
+        entry = live_versions.get(event.dispatch_version)
+        if entry is not None:
+            entry[1] -= 1
+        _sweep_dead_versions()
         evaluated = applied and server.round_index % eval_every == 0
         if evaluated:
             last_accuracy = server.evaluate()

@@ -28,6 +28,7 @@ from repro.data.partition import dirichlet_partition
 from repro.data.synthetic import DomainSpec
 from repro.engine.aggregators import make_aggregator
 from repro.engine.backends import BACKENDS, ExecutionBackend, make_backend
+from repro.engine.campaign import CampaignSegmentPool
 from repro.engine.records import EventLog
 from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
@@ -139,6 +140,16 @@ class ExperimentHarness:
     execution substrate (see the module docstring); the async knobs mirror
     :class:`~repro.core.fedft_eds.FedFTEDSConfig` defaults. Individual
     :meth:`federated` calls may override both.
+
+    Campaign runtime: with the process backend the harness owns one
+    :class:`~repro.engine.campaign.CampaignSegmentPool` and one warm
+    :class:`~repro.engine.backends.ProcessPoolBackend` for its whole
+    lifetime — every run reuses the same worker processes, and each
+    client's shard is published into shared memory once per campaign
+    (clients carry a stable ``shard_key``), not once per run. Call
+    :meth:`close` (or use the harness as a context manager) when done;
+    segments are additionally unlinked on interpreter exit / fatal signals
+    as a crash-path fallback.
     """
 
     def __init__(
@@ -153,6 +164,7 @@ class ExperimentHarness:
         buffer_size: int = 4,
         server_lr: float = 1.0,
         evals_per_round: int = 8,
+        segment_pool: CampaignSegmentPool | None = None,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -175,6 +187,9 @@ class ExperimentHarness:
         self.server_lr = server_lr
         self.evals_per_round = evals_per_round
         self.timing = TimingModel(flops_per_second=1e9)
+        self.segment_pool = segment_pool
+        self._owns_pool = segment_pool is None
+        self._campaign_backend = None
         self._world = None
         self._source_domain = None
         self._specs: dict[tuple[str, str], DomainSpec] = {}
@@ -182,8 +197,47 @@ class ExperimentHarness:
         self._partitions: dict[tuple, list[np.ndarray]] = {}
 
     def make_run_backend(self, backend: str | None = None) -> ExecutionBackend:
-        """Instantiate the campaign's execution backend (caller closes it)."""
-        return make_backend(backend or self.backend, self.max_workers)
+        """The execution backend for one run (caller closes it per run).
+
+        Serial/thread backends are fresh per call. The process backend is
+        the campaign-wide warm instance: its per-run ``close()`` only
+        releases run-scoped state (``persistent=True``), so workers and the
+        segment pool survive until :meth:`close` tears the campaign down.
+        """
+        name = backend or self.backend
+        if name == "process":
+            if self._campaign_backend is None:
+                if self.segment_pool is None:
+                    self.segment_pool = CampaignSegmentPool()
+                    self._owns_pool = True
+                self._campaign_backend = make_backend(
+                    "process",
+                    self.max_workers,
+                    segment_pool=self.segment_pool,
+                    persistent=True,
+                )
+            return self._campaign_backend
+        return make_backend(name, self.max_workers)
+
+    def close(self) -> None:
+        """Tear down the campaign runtime (workers, shared-memory segments).
+
+        Idempotent; the harness remains usable for dataset/model caches
+        afterwards, and a later process-backend run simply restarts the
+        campaign runtime.
+        """
+        if self._campaign_backend is not None:
+            self._campaign_backend.shutdown()
+            self._campaign_backend = None
+        if self.segment_pool is not None and self._owns_pool:
+            self.segment_pool.close()
+            self.segment_pool = None
+
+    def __enter__(self) -> "ExperimentHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- world and datasets -------------------------------------------------
     @property
@@ -348,6 +402,13 @@ class ExperimentHarness:
         )
         client_seq = np.random.SeedSequence(run_seed)
         client_rngs = [np.random.default_rng(c) for c in client_seq.spawn(num_clients)]
+        # Shard identity for the campaign segment pool: the world seed plus
+        # the exact partition-cache key plus the client index pin down the
+        # shard's bytes, so every method of the campaign (same cached
+        # partition) shares one published segment per client.
+        shard_identity = (
+            "shard", self.seed, dataset, float(alpha), num_clients, model_kind,
+        )
         clients = [
             Client(
                 client_id=i,
@@ -357,6 +418,7 @@ class ExperimentHarness:
                 selection_fraction=method.pds,
                 epochs=s.local_epochs,
                 rng=client_rngs[i],
+                shard_key=shard_identity + (i,),
             )
             for i, shard in enumerate(shards)
         ]

@@ -85,22 +85,25 @@ def run_experiments(
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports."""
     ids = only or list_experiments()
-    harness = ExperimentHarness(
-        scale, seed=seed, mode=mode, backend=backend, max_workers=max_workers
-    )
     context: dict = {}
     reports = {}
-    for experiment_id in ids:
-        runner, description = get_experiment(experiment_id)
-        start = time.time()
-        print(f"== {experiment_id}: {description}", file=stream)
-        report = runner(harness, context)
-        elapsed = time.time() - start
-        print(report.table, file=stream)
-        print(f"   ({elapsed:.1f}s)\n", file=stream)
-        if output:
-            report.save(output)
-        reports[experiment_id] = report
+    # The harness owns the campaign runtime (warm process workers plus the
+    # shared-memory segment pool); the context manager guarantees segments
+    # are unlinked however the campaign ends.
+    with ExperimentHarness(
+        scale, seed=seed, mode=mode, backend=backend, max_workers=max_workers
+    ) as harness:
+        for experiment_id in ids:
+            runner, description = get_experiment(experiment_id)
+            start = time.time()
+            print(f"== {experiment_id}: {description}", file=stream)
+            report = runner(harness, context)
+            elapsed = time.time() - start
+            print(report.table, file=stream)
+            print(f"   ({elapsed:.1f}s)\n", file=stream)
+            if output:
+                report.save(output)
+            reports[experiment_id] = report
     return reports
 
 

@@ -5,6 +5,16 @@
 primitives shared by the engine's FedAsync/FedBuff aggregators
 (:mod:`repro.engine.aggregators`): a convex server-side mix of the global
 state with an incoming one, discounted by how stale the contribution is.
+
+Buffer reuse: the combining functions accept ``out=``, a dict of retired
+arrays to write results into instead of allocating fresh ones per key per
+call — the hot-path allocation in long campaigns (one full θ-sized
+allocation set per aggregation). A buffer is only used when its shape and
+dtype match and it does not alias an input that the computation reads
+after writing (checked per key; mismatches silently fall back to
+allocation), so the ``out=`` path is bitwise-identical to the allocating
+one. Callers own the aliasing contract one level up: never pass arrays
+that something else (a broadcast snapshot, a buffered delta) still reads.
 """
 
 from __future__ import annotations
@@ -14,16 +24,46 @@ from typing import Sequence
 import numpy as np
 
 
+def _buffer_for(
+    out: dict[str, np.ndarray] | None,
+    key: str,
+    like: np.ndarray,
+    *forbidden: np.ndarray,
+) -> np.ndarray | None:
+    """A reusable output buffer for ``key``, or None to allocate.
+
+    ``like`` fixes the required shape/dtype; ``forbidden`` lists arrays the
+    computation still reads after the buffer is first written, which the
+    buffer therefore must not alias. Every input must share ``like``'s
+    dtype — mixed-dtype combinations fall back to allocation, where NumPy's
+    promotion rules define the result bits.
+    """
+    if out is None:
+        return None
+    buf = out.get(key)
+    if (
+        isinstance(buf, np.ndarray)
+        and buf.shape == like.shape
+        and buf.dtype == like.dtype
+        and all(arr.dtype == like.dtype for arr in forbidden)
+        and not any(buf is arr for arr in forbidden)
+    ):
+        return buf
+    return None
+
+
 def weighted_average(
     states: Sequence[dict[str, np.ndarray]],
     weights: Sequence[float],
+    out: dict[str, np.ndarray] | None = None,
 ) -> dict[str, np.ndarray]:
     """Weighted average of state dicts (Eq. 5 of the paper).
 
     Weights are normalised to sum to one; in FedFT-EDS they are proportional
     to each client's *selected* sample count |Dᵏ_select|. All states must
     share the same keys — BN running statistics are averaged alongside
-    trainable parameters, the standard FedAvg convention.
+    trainable parameters, the standard FedAvg convention. ``out`` optionally
+    supplies retired accumulator arrays (see the module docstring).
     """
     if not states:
         raise ValueError("no states to aggregate")
@@ -42,13 +82,17 @@ def weighted_average(
         if set(state) != keys:
             raise KeyError(f"state {i} keys differ from state 0")
 
-    out: dict[str, np.ndarray] = {}
+    result: dict[str, np.ndarray] = {}
     for key in states[0]:
-        acc = np.zeros_like(states[0][key])
+        acc = _buffer_for(out, key, states[0][key], *(s[key] for s in states))
+        if acc is None:
+            acc = np.zeros_like(states[0][key])
+        else:
+            acc.fill(0)
         for w, state in zip(weights, states):
             acc += w * state[key]
-        out[key] = acc
-    return out
+        result[key] = acc
+    return result
 
 
 def staleness_weight(staleness: int, exponent: float = 0.5) -> float:
@@ -68,34 +112,79 @@ def mix_states(
     base: dict[str, np.ndarray],
     incoming: dict[str, np.ndarray],
     alpha: float,
+    out: dict[str, np.ndarray] | None = None,
 ) -> dict[str, np.ndarray]:
     """Convex combination ``(1 - α)·base + α·incoming`` over incoming's keys.
 
     Keys present only in ``base`` (the frozen ϕ, which clients never touch)
-    pass through unchanged; fresh arrays are allocated so earlier broadcast
-    snapshots stay valid — the engine hands them to still-running clients.
+    pass through unchanged; written arrays never alias ``base``'s so earlier
+    broadcast snapshots stay valid — the engine hands them to still-running
+    clients. ``out`` optionally supplies *retired* arrays (a model version
+    no in-flight round reads any more) to write into instead of allocating.
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
     missing = set(incoming) - set(base)
     if missing:
         raise KeyError(f"incoming keys absent from base state: {sorted(missing)}")
-    out = dict(base)
+    result = dict(base)
     for key, value in incoming.items():
-        out[key] = (1.0 - alpha) * base[key] + alpha * value
-    return out
+        # The buffer must not alias ``value`` (read after the first write);
+        # aliasing ``base[key]`` would be element-wise safe but would break
+        # the no-alias promise to snapshot holders, so forbid it too.
+        buf = _buffer_for(out, key, base[key], base[key], value)
+        if buf is None:
+            result[key] = (1.0 - alpha) * base[key] + alpha * value
+        else:
+            np.multiply(base[key], 1.0 - alpha, out=buf)
+            buf += alpha * value
+            result[key] = buf
+    return result
 
 
 def apply_delta(
     base: dict[str, np.ndarray],
     delta: dict[str, np.ndarray],
     lr: float = 1.0,
+    out: dict[str, np.ndarray] | None = None,
 ) -> dict[str, np.ndarray]:
     """Server-side update ``base + lr·delta`` over delta's keys (FedBuff)."""
     missing = set(delta) - set(base)
     if missing:
         raise KeyError(f"delta keys absent from base state: {sorted(missing)}")
-    out = dict(base)
+    result = dict(base)
     for key, value in delta.items():
-        out[key] = base[key] + lr * value
-    return out
+        buf = _buffer_for(out, key, base[key], base[key], value)
+        if buf is None:
+            result[key] = base[key] + lr * value
+        else:
+            np.multiply(value, lr, out=buf)
+            np.add(base[key], buf, out=buf)
+            result[key] = buf
+    return result
+
+
+def subtract_states(
+    minuend: dict[str, np.ndarray],
+    base: dict[str, np.ndarray],
+    out: dict[str, np.ndarray] | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-key difference ``minuend − base`` over minuend's keys.
+
+    The FedBuff delta primitive: what a client *learned* relative to the
+    broadcast state it started from. Only minuend's keys are produced (θ;
+    the frozen ϕ cancels by construction). ``out`` reuses retired arrays —
+    e.g. a flushed delta or a dead broadcast snapshot.
+    """
+    missing = set(minuend) - set(base)
+    if missing:
+        raise KeyError(f"minuend keys absent from base state: {sorted(missing)}")
+    result: dict[str, np.ndarray] = {}
+    for key, value in minuend.items():
+        buf = _buffer_for(out, key, value, value, base[key])
+        if buf is None:
+            result[key] = value - base[key]
+        else:
+            np.subtract(value, base[key], out=buf)
+            result[key] = buf
+    return result

@@ -14,17 +14,26 @@ queue (in-flight rounds as re-dispatchable descriptors), the FedBuff
 buffer and the event log itself — everything in
 :class:`~repro.engine.runner.AsyncRunState`. A resumed async run replays
 the *bitwise-identical* event sequence, accuracies and final weights of an
-uninterrupted run, under every execution backend. The on-disk format is a
-directory of one JSON document (scalars, RNG states, event metadata) plus
-``.npz`` archives for the weight-shaped payloads (server state, broadcast
-snapshots of in-flight versions, buffered FedBuff deltas); see DESIGN.md
-("Async checkpoint format").
+uninterrupted run, under every execution backend.
+
+The on-disk format is **log-structured** so periodic saves stay O(new
+events + model) instead of growing with run length: event records live in
+an append-only JSONL journal (``async_events.jsonl``) whose committed
+prefix is pinned by the manifest; pending-dispatch broadcast snapshots are
+delta-encoded against the server state (only keys whose bytes differ are
+stored — the frozen ϕ, the bulk of the model, is inherited); and each save
+rewrites only the manifest, the model head and the (bounded) FedBuff
+buffer. A torn trailing journal line from a crash mid-append sits beyond
+the committed byte offset and is ignored on load and truncated on the
+next save; :func:`compact_async_checkpoint` rewrites the directory from
+scratch. See DESIGN.md ("Async checkpoint format").
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import asdict
 from typing import TYPE_CHECKING, Callable
 
@@ -158,6 +167,10 @@ def resume_federated_training(
 # ---------------------------------------------------------------------------
 
 _ASYNC_STATE_FILE = "async_state.json"
+#: journal rewrites use fresh generation-suffixed names (incremental saves
+#: append to the file the committed manifest names), mirroring the npz
+#: payloads: the previously committed journal is never clobbered.
+_ASYNC_JOURNAL_PREFIX = "async_events"
 #: npz key separator; parameter names are dotted paths and never contain it
 _SEP = "::"
 #: payload files are generation-suffixed: async_<payload>-<generation>.npz
@@ -222,36 +235,172 @@ def _current_generation(path: str) -> int:
         return generation
 
 
-def save_async_checkpoint(path: str, state: "AsyncRunState") -> None:
+def _record_line(record) -> bytes:
+    """One journal line for an event record; stable across saves."""
+    payload = asdict(record) if not isinstance(record, dict) else record
+    return (json.dumps(payload) + "\n").encode()
+
+
+def _read_manifest(path: str) -> dict | None:
+    """The committed manifest in ``path``, or None (absent/legacy/torn)."""
+    try:
+        with open(os.path.join(path, _ASYNC_STATE_FILE)) as handle:
+            return json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _write_journal(
+    path: str,
+    state: "AsyncRunState",
+    previous: dict | None,
+    full: bool,
+    generation: int,
+) -> dict:
+    """Bring the event journal up to date; return its manifest entry.
+
+    Incremental path: the previous manifest pins the committed prefix of
+    the journal file it names (line count, byte offset, running CRC,
+    first-line CRC). New records are appended after truncating any
+    uncommitted tail a crashed save left behind. The rewrite path (first
+    save, compaction, or a directory whose journal belongs to a different
+    run — detected by the first-line CRC) serialises everything into a
+    *fresh* generation-suffixed file, never touching the journal the
+    committed manifest references — a crash before the manifest swap
+    leaves the previous checkpoint fully loadable even across run reuse
+    of one directory. The superseded journal is garbage-collected after
+    the swap.
+    """
+    records = state.records
+    head_crc = zlib.crc32(_record_line(records[0])) if records else 0
+    committed = (previous or {}).get("journal")
+    journal_path = (
+        os.path.join(path, committed["file"]) if committed else None
+    )
+    incremental = (
+        not full
+        and committed is not None
+        and committed.get("count", 0) <= len(records)
+        and (committed.get("count", 0) == 0 or committed.get("head_crc") == head_crc)
+        and os.path.exists(journal_path)
+        and os.path.getsize(journal_path) >= committed.get("bytes", 0)
+    )
+    if incremental:
+        journal_file = committed["file"]
+        offset = int(committed["bytes"])
+        crc = int(committed["crc"])
+        fresh = records[int(committed["count"]):]
+        with open(journal_path, "r+b") as handle:
+            handle.truncate(offset)  # drop any uncommitted/torn tail
+            handle.seek(offset)
+            for record in fresh:
+                line = _record_line(record)
+                handle.write(line)
+                crc = zlib.crc32(line, crc)
+                offset += len(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+    else:
+        journal_file = f"{_ASYNC_JOURNAL_PREFIX}-{generation}.jsonl"
+        offset = 0
+        crc = 0
+        with open(os.path.join(path, journal_file), "wb") as handle:
+            for record in records:
+                line = _record_line(record)
+                handle.write(line)
+                crc = zlib.crc32(line, crc)
+                offset += len(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return {
+        "file": journal_file,
+        "count": len(records),
+        "bytes": offset,
+        "crc": crc,
+        "head_crc": head_crc,
+    }
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff the arrays carry identical bytes (not just equal values).
+
+    Value equality would conflate ``-0.0`` with ``+0.0`` and break the
+    exact-round-trip contract; comparing the raw byte views does not.
+    """
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    if a is b:
+        return True
+    return (
+        np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+    )
+
+
+def _encode_snapshots(
+    state: "AsyncRunState",
+) -> tuple[dict[str, np.ndarray], dict[str, list[str]]]:
+    """Delta-encode pending snapshots against the server state.
+
+    Returns the npz payload (only arrays whose bytes differ from the
+    server's — per version, keyed ``version::param``) and the per-version
+    list of *inherited* keys (bytewise equal to the server state, so load
+    reconstructs them from the server payload of the same generation).
+    Inheritance requires identical dtype, shape and bytes, so the round
+    trip is exact; the frozen ϕ — the bulk of the model — always inherits.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    inherits: dict[str, list[str]] = {}
+    server = state.server_state
+    for version, snapshot in state.snapshots.items():
+        inherited: list[str] = []
+        for key, value in snapshot.items():
+            reference = server.get(key)
+            if reference is not None and _bitwise_equal(reference, value):
+                inherited.append(key)
+            else:
+                arrays[f"{version}{_SEP}{key}"] = value
+        inherits[str(version)] = inherited
+    return arrays, inherits
+
+
+def save_async_checkpoint(
+    path: str, state: "AsyncRunState", full: bool = False
+) -> None:
     """Write an async run state under ``path`` (a directory), atomically.
 
     The state is backend-invariant (see
     :class:`~repro.engine.runner.AsyncRunState`), so a run checkpointed
     under one execution backend can resume under another.
 
+    Incremental cost — the format is log-structured (module docstring):
+    per save, only the new event records are appended to the journal, only
+    snapshot keys that differ from the server state are written, and only
+    the manifest, the model head and the bounded FedBuff buffer are
+    rewritten — O(new events + model), independent of how many events the
+    run has processed. ``full=True`` forces a from-scratch journal rewrite
+    (compaction).
+
     Crash safety — checkpoints exist precisely to survive the process
-    dying at an arbitrary instruction, including mid-save: the weight
-    payloads are written under fresh generation-suffixed names (never
-    clobbering the committed set), then the JSON manifest referencing them
-    is swapped in with an atomic ``os.replace``. A crash at any point
-    leaves the previous complete checkpoint loadable; superseded payload
-    files are garbage-collected on the next successful save.
+    dying at an arbitrary instruction, including mid-save: journal bytes
+    past the previously committed offset are uncommitted until the
+    manifest advances, the weight payloads are written under fresh
+    generation-suffixed names (never clobbering the committed set), and
+    the JSON manifest referencing both is swapped in with an atomic
+    ``os.replace``. A crash at any point leaves the previous complete
+    checkpoint loadable; superseded payload files are garbage-collected on
+    the next successful save.
     """
     os.makedirs(path, exist_ok=True)
+    previous = _read_manifest(path)
     generation = _current_generation(path) + 1
     files = {
         payload: f"async_{payload}-{generation}.npz"
         for payload in _ASYNC_PAYLOADS
     }
+    journal = _write_journal(path, state, previous, full, generation)
+    snapshot_arrays, snapshot_inherits = _encode_snapshots(state)
     save_state(os.path.join(path, files["server"]), state.server_state)
-    np.savez(
-        os.path.join(path, files["snapshots"]),
-        **{
-            f"{version}{_SEP}{key}": value
-            for version, snapshot in state.snapshots.items()
-            for key, value in snapshot.items()
-        },
-    )
+    np.savez(os.path.join(path, files["snapshots"]), **snapshot_arrays)
     np.savez(
         os.path.join(path, files["buffer"]),
         **{
@@ -261,8 +410,11 @@ def save_async_checkpoint(path: str, state: "AsyncRunState") -> None:
         },
     )
     payload = {
+        "format": 2,
         "generation": generation,
         "files": files,
+        "journal": journal,
+        "snapshot_inherits": snapshot_inherits,
         "clock_now": state.clock_now,
         "scheduler_rng_state": _jsonable(state.scheduler_rng_state),
         "idle_rng_states": {
@@ -277,16 +429,16 @@ def save_async_checkpoint(path: str, state: "AsyncRunState") -> None:
         "buffer_weights": [
             weight for _, weight in state.aggregator_state
         ],
-        "records": [asdict(record) for record in state.records],
         "last_accuracy": state.last_accuracy,
         "cumulative_seconds": state.cumulative_seconds,
         "server_round_index": state.server_round_index,
         "meta": state.meta,
     }
-    # Order matters on disk, not just in the process: payloads must be
-    # durable before the manifest referencing them is — a power loss with
-    # the manifest committed but a payload still in the page cache would
-    # strand an unloadable checkpoint after the old generation is GC'd.
+    # Order matters on disk, not just in the process: the journal and the
+    # payloads must be durable before the manifest referencing them is — a
+    # power loss with the manifest committed but a payload still in the
+    # page cache would strand an unloadable checkpoint after the old
+    # generation is GC'd. (The journal was fsynced as it was written.)
     for name in files.values():
         _fsync_file(os.path.join(path, name))
     manifest = os.path.join(path, _ASYNC_STATE_FILE)
@@ -298,16 +450,58 @@ def save_async_checkpoint(path: str, state: "AsyncRunState") -> None:
     os.replace(staging, manifest)
     _fsync_file(path)  # the rename itself lives in the directory entry
     for name in os.listdir(path):  # best-effort GC of superseded payloads
-        if name.startswith("async_") and name.endswith(".npz"):
-            if name not in files.values():
-                try:
-                    os.remove(os.path.join(path, name))
-                except OSError:  # pragma: no cover - concurrent cleanup
-                    pass
+        superseded = (
+            name.startswith("async_")
+            and name.endswith(".npz")
+            and name not in files.values()
+        ) or (
+            name.startswith(_ASYNC_JOURNAL_PREFIX)
+            and name != journal["file"]
+        )
+        if superseded:
+            try:
+                os.remove(os.path.join(path, name))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+
+def _load_journal(path: str, journal: dict) -> list[dict]:
+    """Read the committed journal prefix; torn tails beyond it are ignored.
+
+    Only the first ``journal["bytes"]`` bytes are read — those were fsynced
+    before the manifest committed, so a partial trailing line written by a
+    crashed later save (or a crash mid-append) sits past the committed
+    offset and never reaches the parser. The running CRC pins the prefix
+    against directory mix-ups.
+    """
+    journal_path = os.path.join(path, journal["file"])
+    expected_bytes = int(journal["bytes"])
+    with open(journal_path, "rb") as handle:
+        data = handle.read(expected_bytes)
+    if len(data) < expected_bytes:
+        raise ValueError(
+            f"corrupt checkpoint: journal holds {len(data)} of the "
+            f"{expected_bytes} committed bytes"
+        )
+    if zlib.crc32(data) != int(journal["crc"]):
+        raise ValueError(
+            "corrupt checkpoint: journal bytes do not match the manifest CRC"
+        )
+    records = [json.loads(line) for line in data.splitlines()]
+    if len(records) != int(journal["count"]):
+        raise ValueError(
+            f"corrupt checkpoint: journal holds {len(records)} records, "
+            f"manifest committed {journal['count']}"
+        )
+    return records
 
 
 def load_async_checkpoint(path: str) -> "AsyncRunState":
-    """Read an async run state written by :func:`save_async_checkpoint`."""
+    """Read an async run state written by :func:`save_async_checkpoint`.
+
+    Both the log-structured format and the legacy inline-records format
+    (pre-journal manifests with full snapshot payloads) load transparently.
+    """
     from repro.engine.records import EventRecord
     from repro.engine.runner import AsyncRunState
 
@@ -316,6 +510,12 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
     files = payload["files"]
     server_state = load_state(os.path.join(path, files["server"]))
     snapshots: dict[int, dict[str, np.ndarray]] = {}
+    # Delta-decoded snapshots: inherited keys come from the same
+    # generation's server payload, stored keys from the snapshots payload.
+    for version, inherited in payload.get("snapshot_inherits", {}).items():
+        snapshots[int(version)] = {
+            key: server_state[key].copy() for key in inherited
+        }
     with np.load(os.path.join(path, files["snapshots"])) as archive:
         for name in archive.files:
             version, key = name.split(_SEP, 1)
@@ -331,6 +531,10 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
             f"corrupt checkpoint: {len(deltas)} buffered deltas vs "
             f"{len(weights)} weights"
         )
+    if "journal" in payload:
+        records = _load_journal(path, payload["journal"])
+    else:  # legacy format: the full event list lives in the manifest
+        records = payload["records"]
     return AsyncRunState(
         clock_now=float(payload["clock_now"]),
         scheduler_rng_state=_unjsonable(payload["scheduler_rng_state"]),
@@ -347,13 +551,27 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
         aggregator_state=[
             (deltas[index], weights[index]) for index in sorted(deltas)
         ],
-        records=[EventRecord(**record) for record in payload["records"]],
+        records=[EventRecord(**record) for record in records],
         last_accuracy=float(payload["last_accuracy"]),
         cumulative_seconds=float(payload["cumulative_seconds"]),
         server_round_index=int(payload["server_round_index"]),
         server_state=server_state,
         meta=payload["meta"],
     )
+
+
+def compact_async_checkpoint(path: str) -> "AsyncRunState":
+    """Rewrite the checkpoint directory from its committed state.
+
+    Compaction re-serialises everything — the journal from scratch (so any
+    uncommitted torn tail is physically dropped, not just ignored), fresh
+    payload generations, a fresh manifest — and garbage-collects the rest.
+    Resume runs it before continuing to journal into the same directory.
+    Returns the loaded state so callers can reuse it.
+    """
+    state = load_async_checkpoint(path)
+    save_async_checkpoint(path, state, full=True)
+    return state
 
 
 def resume_async_federated_training(
@@ -382,10 +600,18 @@ def resume_async_federated_training(
     from the checkpoint. ``max_events``, ``eval_every``,
     ``max_concurrency`` and the scheduler seed are taken from the
     checkpoint's metadata.
+
+    When the continuation checkpoints into the *same* directory it resumed
+    from, the directory is compacted first (full journal rewrite, fresh
+    payload generation) so the incremental appends start from a clean
+    committed prefix.
     """
     from repro.engine.runner import run_async_federated_training
 
-    state = load_async_checkpoint(path)
+    if checkpoint_path == path and checkpoint_every > 0:
+        state = compact_async_checkpoint(path)
+    else:
+        state = load_async_checkpoint(path)
     if state.meta["num_clients"] != len(clients):
         raise ValueError(
             f"checkpoint was written with {state.meta['num_clients']} "

@@ -23,6 +23,13 @@ class Client:
 
     ``selection_fraction`` is the paper's ``Pds``; the selector decides *how*
     the fraction is chosen (entropy / random / all).
+
+    ``shard_key``, when set, is a stable hashable identity of the shard's
+    *contents* (the experiment harness uses world seed + partition key +
+    client id). Execution backends with a campaign-scoped
+    :class:`~repro.engine.campaign.CampaignSegmentPool` use it to publish
+    each distinct shard into shared memory once per campaign instead of
+    once per run; clients without a key keep per-run segments.
     """
 
     def __init__(
@@ -34,6 +41,7 @@ class Client:
         selection_fraction: float,
         epochs: int,
         rng: np.random.Generator,
+        shard_key: tuple | None = None,
     ):
         if len(dataset) == 0:
             raise ValueError(f"client {client_id} has an empty shard")
@@ -48,6 +56,7 @@ class Client:
         self.selection_fraction = selection_fraction
         self.epochs = epochs
         self.rng = rng
+        self.shard_key = shard_key
 
     def num_samples(self) -> int:
         return len(self.dataset)

@@ -24,6 +24,12 @@ class Server:
         self.test_set = test_set
         self.global_state = model.state_dict()
         self.round_index = 0
+        # Alternating θ accumulators for aggregate(): the buffer written
+        # two rounds ago is only reachable from that round's superseded
+        # global_state, so it can be reused without touching anything a
+        # broadcast snapshot might still alias (see repro.fl.aggregation).
+        self._theta_scratch: list[dict | None] = [None, None]
+        self._scratch_flip = 0
 
     def broadcast(self) -> dict[str, np.ndarray]:
         """State sent to clients this round (full model; only θ changes)."""
@@ -46,7 +52,10 @@ class Server:
         theta = weighted_average(
             [u.theta for u in updates],
             [u.num_selected for u in updates],
+            out=self._theta_scratch[self._scratch_flip],
         )
+        self._theta_scratch[self._scratch_flip] = theta
+        self._scratch_flip ^= 1
         merged = dict(self.global_state)
         merged.update(theta)
         self.global_state = merged

@@ -395,3 +395,273 @@ def test_checkpoint_every_requires_path():
             max_events=2,
             checkpoint_every=1,
         )
+
+
+# ---------------------------------------------------------------------------
+# Incremental (log-structured) checkpoint format
+# ---------------------------------------------------------------------------
+
+
+def _run_with_checkpoints(path, kind="fedbuff", every=1, max_events=MAX_EVENTS):
+    server, clients = make_federation()
+    log = run_async_federated_training(
+        server,
+        clients,
+        _aggregator(kind),
+        max_events=max_events,
+        seed=11,
+        timing=STRAGGLED,
+        checkpoint_path=path,
+        checkpoint_every=every,
+    )
+    return server, log
+
+
+def _states_of(path):
+    return load_async_checkpoint(path)
+
+
+def _journal_path(path):
+    """The journal file the committed manifest references."""
+    import json
+
+    with open(os.path.join(path, "async_state.json")) as fh:
+        return os.path.join(path, json.load(fh)["journal"]["file"])
+
+
+def test_incremental_append_equals_full_rewrite(tmp_path):
+    """A journal grown by per-event appends loads identically to a
+    from-scratch rewrite of the same state (compaction equivalence)."""
+    import json
+
+    from repro.fl.checkpoint import save_async_checkpoint
+
+    appended = os.path.join(tmp_path, "appended")
+    _run_with_checkpoints(appended, every=1)
+    state = load_async_checkpoint(appended)
+
+    rewritten = os.path.join(tmp_path, "rewritten")
+    save_async_checkpoint(rewritten, state, full=True)
+    other = load_async_checkpoint(rewritten)
+    assert other.records == state.records
+    assert other.pending == state.pending
+    assert other.clock_now == state.clock_now
+    assert _states_identical(other.server_state, state.server_state)
+    assert set(other.snapshots) == set(state.snapshots)
+    for version in state.snapshots:
+        assert _states_identical(
+            other.snapshots[version], state.snapshots[version]
+        )
+    # the journals themselves are byte-identical: appends and rewrites
+    # serialise the same committed prefix
+    with open(_journal_path(appended), "rb") as fh:
+        a = fh.read()
+    with open(_journal_path(rewritten), "rb") as fh:
+        b = fh.read()
+    assert a == b
+    with open(os.path.join(appended, "async_state.json")) as fh:
+        manifest = json.load(fh)
+    assert manifest["journal"]["count"] == len(state.records)
+    assert manifest["journal"]["bytes"] == len(a)
+
+
+def test_per_save_manifest_stays_flat_in_event_count(tmp_path):
+    """The rewritten-per-save portion (the manifest) must not grow with the
+    journal — the O(1)-per-write property of the log-structured format."""
+    sizes = {}
+
+    def watch(record):
+        manifest = os.path.join(tmp_path, "ckpt", "async_state.json")
+        if os.path.exists(manifest):
+            sizes[record.event_index] = os.path.getsize(manifest)
+
+    server, clients = make_federation()
+    run_async_federated_training(
+        server,
+        clients,
+        _aggregator("fedasync"),
+        max_events=MAX_EVENTS,
+        seed=11,
+        timing=STRAGGLED,
+        checkpoint_path=os.path.join(tmp_path, "ckpt"),
+        checkpoint_every=1,
+        on_event=watch,
+    )
+    early = sizes[min(sizes)]
+    late = sizes[max(sizes)]
+    # pending/RNG content varies a little; a linear record list would more
+    # than double the manifest over MAX_EVENTS events
+    assert late < early * 1.5, (early, late)
+
+
+def test_resume_ignores_torn_trailing_journal_line(tmp_path):
+    """A crash mid-append leaves a partial line past the committed offset;
+    load skips it and resume stays bitwise-identical."""
+    path = os.path.join(tmp_path, "ckpt")
+    full_server, full_log = _run_uninterrupted("fedbuff")
+
+    server, clients = make_federation()
+
+    def bomb(record):
+        if record.event_index == 6:
+            raise _Killed
+
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedbuff"),
+            max_events=MAX_EVENTS,
+            seed=11,
+            timing=STRAGGLED,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=bomb,
+        )
+    before = load_async_checkpoint(path)
+    with open(_journal_path(path), "ab") as fh:
+        fh.write(b'{"event_index": 99, "kind": "upd')  # torn write
+    after = load_async_checkpoint(path)
+    assert after.records == before.records
+
+    server2, clients2 = make_federation()
+    resumed_log = resume_async_federated_training(
+        path, server2, clients2, _aggregator("fedbuff"), timing=STRAGGLED
+    )
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(full_server.global_state, server2.global_state)
+
+
+def test_compaction_roundtrip_drops_torn_tail(tmp_path):
+    from repro.fl.checkpoint import compact_async_checkpoint
+
+    path = os.path.join(tmp_path, "ckpt")
+    _run_with_checkpoints(path, every=2)
+    before = load_async_checkpoint(path)
+    torn_journal = _journal_path(path)
+    with open(torn_journal, "ab") as fh:
+        fh.write(b"garbage-tail-without-newline")
+    compacted = compact_async_checkpoint(path)
+    assert compacted.records == before.records
+    assert _states_identical(compacted.server_state, before.server_state)
+    # compaction rewrote into a fresh generation and collected the torn file
+    assert _journal_path(path) != torn_journal
+    assert not os.path.exists(torn_journal)
+    with open(_journal_path(path), "rb") as fh:
+        data = fh.read()
+    assert b"garbage" not in data
+    reloaded = load_async_checkpoint(path)
+    assert reloaded.records == before.records
+
+
+def test_resume_into_same_directory_continues_journal(tmp_path):
+    """Kill, resume while checkpointing into the same directory (compaction
+    + further appends), under the process backend: still bitwise-identical,
+    and the final checkpoint reflects the full run."""
+    path = os.path.join(tmp_path, "ckpt")
+    full_server, full_log = _run_uninterrupted("fedbuff")
+
+    server, clients = make_federation()
+
+    def bomb(record):
+        if record.event_index == 5:
+            raise _Killed
+
+    with pytest.raises(_Killed):
+        run_async_federated_training(
+            server,
+            clients,
+            _aggregator("fedbuff"),
+            max_events=MAX_EVENTS,
+            seed=11,
+            timing=STRAGGLED,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_event=bomb,
+        )
+    server2, clients2 = make_federation()
+    with ProcessPoolBackend(max_workers=2) as backend:
+        resumed_log = resume_async_federated_training(
+            path,
+            server2,
+            clients2,
+            _aggregator("fedbuff"),
+            timing=STRAGGLED,
+            backend=backend,
+            checkpoint_path=path,
+            checkpoint_every=1,
+        )
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(full_server.global_state, server2.global_state)
+    final = load_async_checkpoint(path)
+    assert len(final.records) >= MAX_EVENTS - 1
+
+
+def test_legacy_inline_record_manifest_still_loads(tmp_path):
+    """Manifests written before the journal existed carry the full record
+    list (and full snapshots) inline; they must keep loading."""
+    import json
+
+    path = os.path.join(tmp_path, "ckpt")
+    _run_with_checkpoints(path, every=4)
+    state = load_async_checkpoint(path)
+
+    from dataclasses import asdict
+
+    from repro.fl.checkpoint import _SEP
+    from repro.nn.serialization import save_state
+
+    legacy = os.path.join(tmp_path, "legacy")
+    os.makedirs(legacy)
+    files = {p: f"async_{p}-1.npz" for p in ("server", "snapshots", "buffer")}
+    save_state(os.path.join(legacy, files["server"]), state.server_state)
+    np.savez(
+        os.path.join(legacy, files["snapshots"]),
+        **{
+            f"{version}{_SEP}{key}": value
+            for version, snapshot in state.snapshots.items()
+            for key, value in snapshot.items()
+        },
+    )
+    np.savez(
+        os.path.join(legacy, files["buffer"]),
+        **{
+            f"{index}{_SEP}{key}": value
+            for index, (delta, _) in enumerate(state.aggregator_state)
+            for key, value in delta.items()
+        },
+    )
+    from repro.fl.checkpoint import _jsonable
+
+    with open(os.path.join(legacy, "async_state.json"), "w") as fh:
+        json.dump(
+            {
+                "generation": 1,
+                "files": files,
+                "clock_now": state.clock_now,
+                "scheduler_rng_state": _jsonable(state.scheduler_rng_state),
+                "idle_rng_states": {
+                    str(cid): _jsonable(s)
+                    for cid, s in state.idle_rng_states.items()
+                },
+                "pending": [
+                    {**p, "rng_state": _jsonable(p["rng_state"])}
+                    for p in state.pending
+                ],
+                "next_seq": state.next_seq,
+                "buffer_weights": [w for _, w in state.aggregator_state],
+                "records": [asdict(r) for r in state.records],
+                "last_accuracy": state.last_accuracy,
+                "cumulative_seconds": state.cumulative_seconds,
+                "server_round_index": state.server_round_index,
+                "meta": state.meta,
+            },
+            fh,
+        )
+    loaded = load_async_checkpoint(legacy)
+    assert loaded.records == state.records
+    assert _states_identical(loaded.server_state, state.server_state)
+    for version in state.snapshots:
+        assert _states_identical(
+            loaded.snapshots[version], state.snapshots[version]
+        )

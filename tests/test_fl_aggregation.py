@@ -76,3 +76,115 @@ def test_multidim_arrays_aggregate_elementwise():
     s2 = {"w": rng.normal(size=(3, 4))}
     out = weighted_average([s1, s2], [1, 3])
     assert np.allclose(out["w"], 0.25 * s1["w"] + 0.75 * s2["w"])
+
+
+# ---------------------------------------------------------------------------
+# Buffer reuse (out=): bitwise equivalence with the allocating path
+# ---------------------------------------------------------------------------
+
+from repro.fl.aggregation import apply_delta, mix_states, subtract_states
+
+
+def random_state(rng, keys=("w", "b"), shape=(5, 3)):
+    return {k: rng.normal(size=shape) for k in keys}
+
+
+def test_mix_states_out_is_bitwise_identical():
+    rng = np.random.default_rng(7)
+    base = random_state(rng)
+    base["phi"] = rng.normal(size=(4,))  # key absent from incoming
+    incoming = random_state(rng)
+    fresh = mix_states(base, incoming, 0.3)
+    buffers = {k: np.empty_like(v) for k, v in incoming.items()}
+    reused = mix_states(base, incoming, 0.3, out=buffers)
+    for key in fresh:
+        assert np.array_equal(fresh[key], reused[key])
+    # incoming keys landed in the caller's buffers, pass-through keys alias base
+    for key in incoming:
+        assert reused[key] is buffers[key]
+    assert reused["phi"] is base["phi"]
+
+
+def test_weighted_average_out_is_bitwise_identical():
+    rng = np.random.default_rng(8)
+    states = [random_state(rng) for _ in range(4)]
+    weights = [3, 1, 5, 2]
+    fresh = weighted_average(states, weights)
+    buffers = {k: rng.normal(size=v.shape) for k, v in states[0].items()}
+    reused = weighted_average(states, weights, out=buffers)
+    for key in fresh:
+        assert np.array_equal(fresh[key], reused[key])
+        assert reused[key] is buffers[key]
+
+
+def test_apply_delta_and_subtract_out_are_bitwise_identical():
+    rng = np.random.default_rng(9)
+    base = random_state(rng)
+    delta = random_state(rng)
+    fresh = apply_delta(base, delta, lr=0.7)
+    reused = apply_delta(
+        base, delta, lr=0.7, out={k: np.empty_like(v) for k, v in delta.items()}
+    )
+    for key in fresh:
+        assert np.array_equal(fresh[key], reused[key])
+    diff_fresh = subtract_states(delta, base)
+    diff_reused = subtract_states(
+        delta, base, out={k: np.empty_like(v) for k, v in delta.items()}
+    )
+    for key in diff_fresh:
+        assert np.array_equal(diff_fresh[key], diff_reused[key])
+
+
+def test_out_never_aliases_inputs_or_mismatched_buffers():
+    """Unsafe or mismatched buffers silently fall back to allocation."""
+    rng = np.random.default_rng(10)
+    base = random_state(rng)
+    incoming = random_state(rng)
+    # aliasing an input the computation reads -> allocate
+    aliased = mix_states(base, incoming, 0.4, out=dict(incoming))
+    for key in incoming:
+        assert aliased[key] is not incoming[key]
+        assert aliased[key] is not base[key]
+    # wrong shape or dtype -> allocate, result still correct
+    bad = {
+        "w": np.empty((2, 2)),
+        "b": np.empty(base["b"].shape, dtype=np.float32),
+    }
+    mixed = mix_states(base, incoming, 0.4, out=bad)
+    expect = mix_states(base, incoming, 0.4)
+    for key in expect:
+        assert np.array_equal(mixed[key], expect[key])
+        assert mixed[key] is not bad.get(key)
+
+
+def test_fedasync_recycle_reuses_retired_arrays():
+    """A recycled version's θ buffers back the next mix, bitwise-identically."""
+    from repro.engine.aggregators import FedAsyncAggregator
+
+    class _Server:
+        def __init__(self, state):
+            self.global_state = state
+            self.round_index = 0
+
+    class _Update:
+        def __init__(self, theta):
+            self.theta = theta
+
+    rng = np.random.default_rng(11)
+    state = random_state(rng)
+
+    plain = FedAsyncAggregator(mixing=0.5, staleness_exponent=0.0)
+    recycled = FedAsyncAggregator(mixing=0.5, staleness_exponent=0.0)
+    s1 = _Server({k: v.copy() for k, v in state.items()})
+    s2 = _Server({k: v.copy() for k, v in state.items()})
+    retired = None
+    for step in range(6):
+        theta = random_state(np.random.default_rng(100 + step))
+        if retired is not None:
+            recycled.recycle(retired)
+        retired = dict(s2.global_state)
+        plain.apply(s1, _Update(theta), 0, None)
+        recycled.apply(s2, _Update(theta), 0, None)
+        for key in s1.global_state:
+            assert np.array_equal(s1.global_state[key], s2.global_state[key])
+    assert recycled._free or retired is not None
