@@ -36,13 +36,22 @@ _PAYLOADS = ("server", "snapshots", "buffer")
 
 
 def _committed_sizes(path):
-    """(payload bytes, manifest bytes, journal bytes) of the committed set."""
+    """(payload bytes, manifest bytes, journal bytes) of the committed set.
+
+    The server *base* generation (the delta encoding's full payload) only
+    counts when this save actually wrote it — its generation suffix
+    matches the manifest's — since incremental saves carry it forward
+    untouched.
+    """
     with open(os.path.join(path, "async_state.json")) as fh:
         manifest = json.load(fh)
     payloads = sum(
         os.path.getsize(os.path.join(path, name))
         for name in manifest["files"].values()
     )
+    base = manifest.get("server_base")
+    if base and base["file"].endswith(f"-{manifest['generation']}.npz"):
+        payloads += os.path.getsize(os.path.join(path, base["file"]))
     journal = os.path.getsize(os.path.join(path, manifest["journal"]["file"]))
     return payloads, os.path.getsize(os.path.join(path, "async_state.json")), journal
 

@@ -116,10 +116,14 @@ def test_campaign_publishes_each_shard_once_across_runs(benchmark, harness):
         pool = harness.segment_pool
         backend = harness._campaign_backend
         # every run of the campaign shares the cached partition, so the
-        # pool holds exactly one segment per client — runs 2 and 3 are
-        # pure hits
-        assert pool.stats["publishes"] == num_clients, pool.stats
-        assert pool.stats["hits"] == (len(methods) - 1) * num_clients
+        # pool holds exactly one *shard* segment per client — runs 2 and 3
+        # re-acquire them (plus their feature/test segments) as pure hits.
+        # (The pool also carries "feat"/"eval" segments now — the feature
+        # cache's; bench_feature_cache.py pins their publish-once economy.)
+        assert pool.publishes_by_kind["shard"] == num_clients, (
+            pool.publishes_by_kind
+        )
+        assert pool.stats["hits"] >= (len(methods) - 1) * num_clients
         assert backend.stats["template_publishes"] == len(methods)
         # identical method ⇒ identical run, campaign reuse notwithstanding
         assert (

@@ -19,7 +19,12 @@ from repro.core.partial import (
     partial_workload_fraction,
     prepare_partial_model,
 )
-from repro.core.fedft_eds import FedFTEDSConfig, FedFTEDSResult, run_fedft_eds
+from repro.core.fedft_eds import (
+    FedFTEDSCampaign,
+    FedFTEDSConfig,
+    FedFTEDSResult,
+    run_fedft_eds,
+)
 
 __all__ = [
     "hardened_softmax",
@@ -27,6 +32,7 @@ __all__ = [
     "prepare_partial_model",
     "adapt_to_task",
     "partial_workload_fraction",
+    "FedFTEDSCampaign",
     "FedFTEDSConfig",
     "FedFTEDSResult",
     "run_fedft_eds",

@@ -17,10 +17,17 @@ from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
 from repro.engine.aggregators import make_aggregator
 from repro.engine.availability import AlwaysAvailable, AvailabilityModel
-from repro.engine.backends import BACKENDS, make_backend
+from repro.engine.backends import (
+    BACKENDS,
+    PooledEvaluator,
+    ProcessPoolBackend,
+    make_backend,
+)
+from repro.engine.campaign import CampaignSegmentPool
 from repro.engine.records import EventLog
 from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
+from repro.fl.features import FeatureRuntime
 from repro.fl.rounds import TrainingHistory, run_federated_training
 from repro.fl.selection import EntropySelector, FullSelector, RandomSelector
 from repro.fl.server import Server
@@ -96,6 +103,15 @@ class FedFTEDSConfig:
     checkpoint_path: str | None = None
     #: async only: checkpoint cadence in processed events (0 = disabled)
     checkpoint_every: int = 0
+    #: frozen-feature cache (repro.fl.features): materialise ϕ(x) once per
+    #: shard/test set and run client rounds + evaluation head-only —
+    #: bitwise identical to the full forward; disable to force the seed
+    #: full-forward path
+    feature_cache: bool = True
+    #: campaign scope for repeated calls: a :class:`FedFTEDSCampaign`
+    #: supplies the warm process backend, segment pool and feature runtime
+    #: shared across runs (standalone calls build throwaway ones)
+    campaign: "FedFTEDSCampaign | None" = None
 
 
 @dataclass
@@ -117,6 +133,69 @@ class FedFTEDSResult:
 
 #: Training modes accepted by :class:`FedFTEDSConfig`.
 MODES = ("sync", "fedasync", "fedbuff")
+
+
+class FedFTEDSCampaign:
+    """Campaign scope for repeated :func:`run_fedft_eds` calls.
+
+    A standalone call builds a throwaway backend per run; a campaign owns
+    the cross-run runtime instead — one warm persistent
+    :class:`~repro.engine.backends.ProcessPoolBackend` (workers survive
+    across runs), one :class:`~repro.engine.campaign.CampaignSegmentPool`
+    (each distinct shard, feature array and test-set shard published into
+    shared memory once per campaign) and one
+    :class:`~repro.fl.features.FeatureRuntime` (in-process ϕ(x) reuse for
+    the serial/thread backends). Close it (or use it as a context manager)
+    when the campaign ends; crash paths fall back to the emergency
+    shared-memory cleanup.
+
+    Runs of one campaign share cached state keyed by content (shard
+    identity, ϕ fingerprint), so mixing configs with different data or
+    models in one campaign is safe — unrelated runs simply miss the cache.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self.segment_pool = CampaignSegmentPool()
+        self.feature_runtime = FeatureRuntime()
+        self._process_backend: ProcessPoolBackend | None = None
+
+    def backend_for(self, config: "FedFTEDSConfig"):
+        """The execution backend for one run (the run closes it; closing
+        the campaign's process backend is the soft per-run ``end_run``)."""
+        runtime = self.feature_runtime if config.feature_cache else None
+        if config.backend == "process":
+            if self._process_backend is None:
+                self._process_backend = ProcessPoolBackend(
+                    max_workers=config.max_workers or self.max_workers,
+                    segment_pool=self.segment_pool,
+                    persistent=True,
+                    feature_runtime=runtime,
+                )
+            else:
+                # Honour the run's cache setting on the warm backend; the
+                # per-run segment registrations were cleared by end_run.
+                self._process_backend.feature_runtime = runtime
+            return self._process_backend
+        return make_backend(
+            config.backend,
+            config.max_workers or self.max_workers,
+            feature_runtime=runtime,
+        )
+
+    def close(self) -> None:
+        """Tear down the campaign runtime (workers + shared memory)."""
+        if self._process_backend is not None:
+            self._process_backend.shutdown()
+            self._process_backend = None
+        self.segment_pool.close()
+        self.feature_runtime.clear()
+
+    def __enter__(self) -> "FedFTEDSCampaign":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 _DATASETS = {
@@ -253,6 +332,15 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
         prox_mu=config.prox_mu,
         batch_size=config.batch_size,
     )
+    # Shard identity for campaign-scoped segment/feature reuse: these
+    # parts pin the partition's bytes (the world, the dataset recipe and
+    # the Dirichlet draw are all deterministic in them), so repeated runs
+    # of one campaign share published segments per client.
+    shard_identity = (
+        "fedft", config.seed, config.dataset, config.image_size,
+        config.train_size, config.test_size, float(config.alpha),
+        config.num_clients,
+    )
     clients = [
         Client(
             client_id=i,
@@ -264,12 +352,26 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             ),
             epochs=config.local_epochs,
             rng=client_rngs[i],
+            shard_key=shard_identity + (i,),
         )
         for i, shard in enumerate(shards)
     ]
-    server = Server(model, target.test)
+    server = Server(model, target.test, cache_features=config.feature_cache)
     run_seed = int(sampling_rng_seed_rng.integers(2**31))
-    backend = make_backend(config.backend, config.max_workers)
+    if config.campaign is not None:
+        backend = config.campaign.backend_for(config)
+    else:
+        backend = make_backend(
+            config.backend,
+            config.max_workers,
+            feature_runtime=FeatureRuntime() if config.feature_cache else None,
+        )
+    if isinstance(backend, ProcessPoolBackend):
+        server.evaluator = PooledEvaluator(
+            backend,
+            target.test,
+            test_key=("fedft-test",) + shard_identity[1:-1],
+        )
     try:
         if config.mode == "sync":
             history = run_federated_training(
@@ -303,6 +405,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
                 checkpoint_every=config.checkpoint_every,
             )
     finally:
+        server.evaluator = None
         backend.close()
     return FedFTEDSResult(
         config=config,

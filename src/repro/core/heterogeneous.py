@@ -72,8 +72,13 @@ class TieredClient(Client):
     """A client that re-freezes the workspace model to its own level.
 
     The broadcast global state is unchanged; the client simply chooses how
-    much of the received model it can afford to fine-tune.
+    much of the received model it can afford to fine-tune. Because the
+    ϕ/θ split changes per client, cached ϕ(x) features materialised for
+    the template's split would be wrong here — the feature-cache fast
+    path is disabled.
     """
+
+    supports_feature_cache = False
 
     def __init__(
         self,
@@ -96,7 +101,13 @@ class TieredClient(Client):
         model: SegmentedModel,
         global_state: dict[str, np.ndarray],
         timing: TimingModel | None = None,
+        features: np.ndarray | None = None,
     ) -> LocalUpdate:
+        if features is not None:
+            raise ValueError(
+                "TieredClient re-freezes the model per round and cannot "
+                "consume cached features (supports_feature_cache is False)"
+            )
         model.apply_fine_tune_level(self.tier.level)
         update = super().run_round(model, global_state, timing=timing)
         update.metadata["tier"] = self.tier.name

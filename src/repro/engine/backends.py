@@ -30,6 +30,14 @@ guarantee this), so per-client RNG streams advance in the same order under
 every backend. Backends are driven by a single scheduler thread; they are
 not thread-safe for concurrent ``submit``/``result`` callers.
 
+All backends optionally run the *frozen-feature cache* fast path
+(:mod:`repro.fl.features`): with a ``feature_runtime`` the frozen backbone
+ϕ(x) of each distinct shard is materialised once (per campaign, with a
+pool) and client rounds execute head-only — bitwise identical to the full
+forward. The process backend additionally pools test-set shards for
+:class:`PooledEvaluator`, which turns ``Server.evaluate`` into parallel
+worker jobs with an exact parent-side count reduction.
+
 See DESIGN.md ("Shared-memory process backend") for the segment layout and
 worker lifecycle.
 """
@@ -56,11 +64,13 @@ from repro.engine.campaign import (
     unregister_emergency_cleanup,
 )
 
-from repro.data.dataset import ArrayDataset
+from repro.data.dataset import ArrayDataset, Dataset
 from repro.fl.client import Client
+from repro.fl.features import FeatureRuntime, eval_pool_key, feature_pool_key
 from repro.fl.strategies import LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
+from repro.nn.serialization import theta_keys
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (campaign imports the
     # layout helpers below, so the runtime import goes the other way)
@@ -125,10 +135,31 @@ class ExecutionBackend:
 
 
 class SerialBackend(ExecutionBackend):
-    """Inline execution in the shared workspace model (the seed behaviour)."""
+    """Inline execution in the shared workspace model (the seed behaviour).
+
+    With a :class:`~repro.fl.features.FeatureRuntime`, client rounds
+    consume cached ϕ(x) features (head-only execution, bitwise identical);
+    without one, the full-forward seed path runs.
+    """
+
+    #: class-level default so lightweight subclasses (tests wrap submit
+    #: without chaining __init__) keep the uncached seed behaviour
+    feature_runtime: FeatureRuntime | None = None
+
+    def __init__(self, feature_runtime: FeatureRuntime | None = None):
+        self.feature_runtime = feature_runtime
 
     def submit(self, client, template, global_state, timing):
-        return _Resolved(client.run_round(template, global_state, timing=timing))
+        features = (
+            self.feature_runtime.features_for(client, template)
+            if self.feature_runtime is not None
+            else None
+        )
+        return _Resolved(
+            client.run_round(
+                template, global_state, timing=timing, features=features
+            )
+        )
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -139,12 +170,21 @@ class ThreadPoolBackend(ExecutionBackend):
     model another worker — or the server's evaluation — is touching.
     ``run_round`` loads the broadcast state before every round, so replica
     contents never leak between clients.
+
+    Feature caching: ϕ(x) arrays are built once on the *template* (inside
+    ``submit``, on the scheduler thread, before any worker could touch it)
+    and shared read-only by every worker's replica rounds.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        feature_runtime: FeatureRuntime | None = None,
+    ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.feature_runtime = feature_runtime
         self._executor: ThreadPoolExecutor | None = None
         self._replicas: queue.Queue | None = None
         self._lock = threading.Lock()
@@ -164,11 +204,18 @@ class ThreadPoolBackend(ExecutionBackend):
 
     def submit(self, client, template, global_state, timing):
         self._ensure_started(template)
+        features = (
+            self.feature_runtime.features_for(client, template)
+            if self.feature_runtime is not None
+            else None
+        )
 
         def job() -> LocalUpdate:
             model = self._replicas.get()
             try:
-                return client.run_round(model, global_state, timing=timing)
+                return client.run_round(
+                    model, global_state, timing=timing, features=features
+                )
             finally:
                 self._replicas.put(model)
 
@@ -312,8 +359,49 @@ def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict]:
         _WORKER["clients"][client_key] = client
     client.rng = np.random.default_rng(0)
     client.rng.bit_generator.state = job["rng_state"]
-    update = client.run_round(model, global_state, timing=job["timing"])
+    features = None
+    if job.get("features_name"):
+        feature_seg = _worker_segment(job["features_name"])
+        features = _view_arrays(feature_seg.buf, job["features_layout"])["f"]
+    update = client.run_round(
+        model, global_state, timing=job["timing"], features=features
+    )
     return update, client.rng.bit_generator.state
+
+
+def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
+    """Worker entry point: score one aligned test-set shard with current θ.
+
+    Loads only the θ keys into the cached template replica (its ϕ is the
+    template's — the frozen backbone never changes within a run), runs the
+    head over the shard's cached features (or the full model over raw
+    inputs when no frozen prefix exists) in batches that match the serial
+    evaluation's chunk boundaries, and returns the exact integer correct
+    count — the parent-side reduction ``Σcorrect / Σn`` is then bitwise
+    equal to ``np.mean`` over the whole logits matrix.
+    """
+    job = pickle.loads(job_blob)
+    model = _worker_model(job["template_name"], job["template_nbytes"])
+    state_seg = _worker_segment(job["state_name"])
+    state = _view_arrays(state_seg.buf, job["state_layout"])
+    model.load_state_dict(
+        {key: state[key] for key in job["theta_keys"]}, strict=False
+    )
+    eval_seg = _worker_segment(job["eval_name"])
+    arrays = _view_arrays(eval_seg.buf, job["eval_layout"])
+    labels = arrays["y"]
+    inputs = arrays["f"] if "f" in arrays else arrays["x"]
+    forward = model.forward_head if "f" in arrays else model
+    was_training = model.training
+    model.eval()
+    batch = int(job["batch_size"])
+    correct = 0
+    for i in range(0, len(labels), batch):
+        preds = np.argmax(forward(inputs[i : i + batch]), axis=-1)
+        correct += int(np.count_nonzero(preds == labels[i : i + batch]))
+    if was_training:
+        model.train()
+    return correct, int(len(labels))
 
 
 @dataclass
@@ -349,6 +437,20 @@ class _ShardRecord:
     client_blob: bytes
     client: Client  # pins the client object so the id() key stays valid
     digest: str
+    pool_key: object | None = None
+
+
+@dataclass
+class _SegmentRef:
+    """A published auxiliary segment: cached features or an eval shard.
+
+    ``pool_key`` is set when the campaign pool owns the segment (the
+    backend then holds one reference for the run); otherwise the backend
+    owns — and unlinks — it.
+    """
+
+    shm: shared_memory.SharedMemory
+    layout: dict
     pool_key: object | None = None
 
 
@@ -426,6 +528,7 @@ class ProcessPoolBackend(ExecutionBackend):
         start_method: str | None = None,
         segment_pool: "CampaignSegmentPool | None" = None,
         persistent: bool = False,
+        feature_runtime: FeatureRuntime | None = None,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -433,11 +536,23 @@ class ProcessPoolBackend(ExecutionBackend):
         self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
         self.segment_pool = segment_pool
         self.persistent = persistent
+        #: frozen-feature policy: when set, client shards' ϕ(x) (and test
+        #: sets for pooled evaluation) are materialised parent-side and
+        #: published as segments; workers then run head-only rounds. The
+        #: runtime's in-process array cache is not used here — shared
+        #: memory is the cache — only its build counter and batch size.
+        self.feature_runtime = feature_runtime
         self._executor: ProcessPoolExecutor | None = None
         self._slots: list[_StateSlot] = []
         self._current: _StateSlot | None = None
         self._shards: dict[int, _ShardRecord] = {}
         self._templates: dict[int, _TemplateRecord] = {}
+        #: (client id(), ϕ fingerprint) -> feature segment; clients are
+        #: pinned by their _ShardRecord, so the id stays valid run-long
+        self._features: dict[tuple[int, str], "_SegmentRef"] = {}
+        #: (test-set id(), fingerprint, batch, shards) -> (test set,
+        #: segments); the dataset is pinned so the id cannot be recycled
+        self._eval_segments: dict[tuple, tuple] = {}
         self._inflight: set[Future] = set()
         self._inflight_lock = threading.Lock()
         self.stats = {
@@ -448,6 +563,9 @@ class ProcessPoolBackend(ExecutionBackend):
             "template_publishes": 0,
             "job_payload_bytes": 0,
             "max_job_payload_bytes": 0,
+            "feature_segments": 0,
+            "eval_segments": 0,
+            "pooled_evals": 0,
         }
         register_emergency_cleanup(self)
 
@@ -560,12 +678,74 @@ class ProcessPoolBackend(ExecutionBackend):
         self.stats["shard_segments"] = len(self._shards)
         return record
 
+    def _publish_aux(
+        self, pool_key, arrays_factory
+    ) -> "_SegmentRef":
+        """Publish an auxiliary array set: pooled when keyed, owned else."""
+        if self.segment_pool is not None and pool_key is not None:
+            segment = self.segment_pool.acquire(pool_key, arrays_factory)
+            return _SegmentRef(
+                shm=segment.shm, layout=segment.layout, pool_key=pool_key
+            )
+        arrays = arrays_factory()
+        layout, nbytes = _array_layout(arrays)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        _write_arrays(shm.buf, layout, arrays)
+        return _SegmentRef(shm=shm, layout=layout)
+
+    def _ensure_features(
+        self, client, template: SegmentedModel
+    ) -> "_SegmentRef | None":
+        """The client's ϕ(shard) feature segment, built/published on first use.
+
+        With a campaign pool and a ``shard_key``'d client, the segment is
+        keyed by (shard identity, ϕ fingerprint) and survives across runs
+        — published once per campaign. Returns None when caching is off,
+        the client opts out, or the template has no frozen prefix.
+
+        The fingerprint is recomputed per call — never served from the
+        parent-side memo — mirroring
+        :meth:`~repro.fl.features.FeatureRuntime.features_for`: the hash
+        *is* the invalidation mechanism, so a ϕ mutated mid-run (or a new
+        template object reusing a freed id) can never be handed stale
+        features.
+        """
+        if self.feature_runtime is None or not getattr(
+            client, "supports_feature_cache", True
+        ):
+            return None
+        fingerprint = template.phi_fingerprint()
+        if fingerprint is None:
+            return None
+        cache_key = (id(client), fingerprint)
+        record = self._features.get(cache_key)
+        if record is not None:
+            return record
+        shard_key = getattr(client, "shard_key", None)
+        pool_key = (
+            feature_pool_key(shard_key, fingerprint)
+            if shard_key is not None
+            else None
+        )
+        record = self._publish_aux(
+            pool_key,
+            lambda: {
+                "f": self.feature_runtime.build(
+                    template, client.dataset.arrays()[0]
+                )
+            },
+        )
+        self._features[cache_key] = record
+        self.stats["feature_segments"] = len(self._features)
+        return record
+
     # -- ExecutionBackend interface ------------------------------------------
     def submit(self, client, template, global_state, timing):
         self._ensure_started()
         template_record = self._ensure_template(template)
         slot = self._publish_state(global_state)
         shard = self._ensure_shard(client)
+        features = self._ensure_features(client, template)
         job_blob = pickle.dumps(
             {
                 "template_name": template_record.shm.name,
@@ -576,6 +756,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 "shard_layout": shard.layout,
                 "client_blob": shard.client_blob,
                 "client_digest": shard.digest,
+                "features_name": features.shm.name if features else None,
+                "features_layout": features.layout if features else None,
                 "rng_state": client.rng.bit_generator.state,
                 "timing": timing,
             }
@@ -608,6 +790,132 @@ class ProcessPoolBackend(ExecutionBackend):
         if pending:
             futures_wait(pending)
 
+    # -- pooled evaluation ---------------------------------------------------
+    def _ensure_eval_segments(
+        self,
+        model: SegmentedModel,
+        test_set: Dataset,
+        test_key: tuple | None,
+        batch_size: int,
+    ) -> list:
+        """Publish the test set as contiguous shards aligned to ``batch_size``.
+
+        Alignment makes every shard's batch compositions identical to the
+        serial evaluation's global chunking, so per-shard logits — and the
+        integer correct counts — are bitwise exact regardless of sharding.
+        With a frozen prefix the shards carry cached ϕ(x) features; without
+        one they carry the raw inputs (pooled evaluation still parallelises
+        the full forward). Pool-keyed segments (``test_key`` set) are
+        published once per campaign.
+        """
+        fingerprint = (
+            model.phi_fingerprint() if self.feature_runtime is not None else None
+        )
+        n = len(test_set)
+        total_batches = -(-n // batch_size)
+        num_shards = max(1, min(self.max_workers, total_batches))
+        cache_key = (id(test_set), fingerprint, batch_size, num_shards)
+        cached = self._eval_segments.get(cache_key)
+        if cached is not None:
+            return cached[1]
+        x, y = test_set.arrays()
+        built: dict[str, np.ndarray] = {}
+
+        def shard_arrays(lo: int, hi: int) -> dict[str, np.ndarray]:
+            if fingerprint is not None:
+                if "f" not in built:
+                    built["f"] = self.feature_runtime.build(model, x)
+                return {"f": built["f"][lo:hi], "y": y[lo:hi]}
+            return {
+                "x": np.ascontiguousarray(x[lo:hi], dtype=np.float64),
+                "y": y[lo:hi],
+            }
+
+        base, extra = divmod(total_batches, num_shards)
+        records = []
+        lo = 0
+        for index in range(num_shards):
+            span = (base + (1 if index < extra else 0)) * batch_size
+            hi = min(n, lo + span)
+            pool_key = (
+                eval_pool_key(test_key, fingerprint, batch_size, num_shards, index)
+                if test_key is not None
+                else None
+            )
+            records.append(
+                self._publish_aux(
+                    pool_key, lambda lo=lo, hi=hi: shard_arrays(lo, hi)
+                )
+            )
+            lo = hi
+        # Pin the dataset alongside its segments: the id() in the key must
+        # not be reusable by a different test set while the entry lives.
+        self._eval_segments[cache_key] = (test_set, records)
+        self.stats["eval_segments"] = sum(
+            len(entry[1]) for entry in self._eval_segments.values()
+        )
+        return records
+
+    def evaluate_pooled(
+        self,
+        model: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        test_set: Dataset,
+        test_key: tuple | None = None,
+        batch_size: int = 512,
+    ) -> float:
+        """Top-1 accuracy via sharded jobs on the warm workers.
+
+        Bitwise equal to the serial ``Server.evaluate`` path: shards are
+        batch-aligned, workers return exact integer correct counts, and the
+        parent reduction divides the totals. Only θ crosses per evaluation
+        (through the refcounted state slot — reused by training dispatches
+        of the same model version); test-set segments are published once
+        per campaign. The caller's workspace model is left untouched.
+        """
+        if len(test_set) == 0:
+            return 0.0
+        self._ensure_started()
+        template_record = self._ensure_template(model)
+        segments = self._ensure_eval_segments(
+            model, test_set, test_key, batch_size
+        )
+        slot = self._publish_state(global_state)
+        keys = theta_keys(model)
+        futures = []
+        template_record.refs += len(segments)
+        try:
+            for record in segments:
+                job_blob = pickle.dumps(
+                    {
+                        "template_name": template_record.shm.name,
+                        "template_nbytes": template_record.nbytes,
+                        "state_name": slot.shm.name,
+                        "state_layout": slot.layout,
+                        "eval_name": record.shm.name,
+                        "eval_layout": record.layout,
+                        "theta_keys": keys,
+                        "batch_size": batch_size,
+                    }
+                )
+                future = self._executor.submit(_shm_eval_shard, job_blob)
+                with self._inflight_lock:
+                    self._inflight.add(future)
+                future.add_done_callback(self._inflight_done)
+                futures.append(future)
+            futures_wait(futures)
+        finally:
+            slot.refs -= 1
+            template_record.refs -= len(segments)
+        correct = 0
+        total = 0
+        for future in futures:
+            shard_correct, shard_total = future.result()
+            correct += shard_correct
+            total += shard_total
+        self.stats["pooled_evals"] += 1
+        return correct / total
+
     def _release_shards(self) -> None:
         """Release pool references and unlink backend-owned shard segments."""
         for record in self._shards.values():
@@ -618,18 +926,34 @@ class ProcessPoolBackend(ExecutionBackend):
                 unlink_segment(record.shm)
         self._shards = {}
 
+    def _release_aux_segments(self) -> None:
+        """Release feature and eval segments (pool refs or owned unlinks)."""
+        aux = list(self._features.values())
+        for _, records in self._eval_segments.values():
+            aux.extend(records)
+        for record in aux:
+            if record.pool_key is not None:
+                if self.segment_pool is not None:
+                    self.segment_pool.release(record.pool_key)
+            else:
+                unlink_segment(record.shm)
+        self._features = {}
+        self._eval_segments = {}
+
     def end_run(self) -> None:
         """Soft close between two runs of one campaign.
 
         Waits out any jobs still in flight (an aborted run's handles may
         never be collected), then drops everything tied to the finished
         run — shard registrations (pool refs released, own segments
-        unlinked), the current-state pin, state-slot reader counts and all
-        template segments — while keeping the workers, the recycled state
-        slots and the pool's shard segments warm for the next run.
+        unlinked), feature/eval segments likewise, the current-state pin,
+        state-slot reader counts and all template segments — while keeping
+        the workers, the recycled state slots and the pool's shard and
+        feature/test segments warm for the next run.
         """
         self._drain_inflight()
         self._release_shards()
+        self._release_aux_segments()
         self._current = None
         # With nothing executing, abandoned handles can no longer protect
         # their reads: every slot is reusable and every template is dead
@@ -659,6 +983,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._slots = []
         self._current = None
         self._release_shards()
+        self._release_aux_segments()
         for record in self._templates.values():
             unlink_segment(record.shm)
         self._templates = {}
@@ -680,9 +1005,62 @@ class ProcessPoolBackend(ExecutionBackend):
             if record.pool_key is None:
                 unlink_segment(record.shm)
         self._shards = {}
+        aux = list(self._features.values())
+        for _, records in self._eval_segments.values():
+            aux.extend(records)
+        for record in aux:
+            if record.pool_key is None:
+                unlink_segment(record.shm)
+        self._features = {}
+        self._eval_segments = {}
         for record in self._templates.values():
             unlink_segment(record.shm)
         self._templates = {}
+
+
+class PooledEvaluator:
+    """Attachable ``Server.evaluator`` backed by the warm process pool.
+
+    Campaign runtimes construct one per run and assign it to
+    ``server.evaluator``; :meth:`~repro.fl.server.Server.evaluate` then
+    delegates here instead of re-running the backbone serially. With a
+    campaign pool and a stable ``test_key`` the test-set segments are
+    published once per campaign, not once per run.
+    """
+
+    def __init__(
+        self,
+        backend: ProcessPoolBackend,
+        test_set: Dataset,
+        test_key: tuple | None = None,
+        batch_size: int = 512,
+    ):
+        if not isinstance(backend, ProcessPoolBackend):
+            raise TypeError("PooledEvaluator requires a ProcessPoolBackend")
+        self.backend = backend
+        self.test_set = test_set
+        self.test_key = test_key
+        self.batch_size = batch_size
+
+    def evaluate(
+        self,
+        model: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        batch_size: int | None = None,
+    ) -> float:
+        # The evaluator's configured batch size governs shard geometry
+        # (it is part of the campaign-pool key, so it must stay stable
+        # across a campaign); the caller's per-call hint is ignored.
+        # Row-determinism makes the result bitwise independent of the
+        # choice anyway (see repro.fl.features).
+        del batch_size
+        return self.backend.evaluate_pooled(
+            model,
+            global_state,
+            self.test_set,
+            test_key=self.test_key,
+            batch_size=self.batch_size,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -759,21 +1137,26 @@ def make_backend(
     max_workers: int | None = None,
     segment_pool: "CampaignSegmentPool | None" = None,
     persistent: bool = False,
+    feature_runtime: FeatureRuntime | None = None,
 ) -> ExecutionBackend:
     """Instantiate an execution backend by short name.
 
     ``segment_pool``/``persistent`` only apply to the process backend (see
     :class:`ProcessPoolBackend`); the serial and thread backends hold no
-    cross-run state worth pooling.
+    cross-run state worth pooling. ``feature_runtime`` enables the
+    frozen-feature cache on any backend (see :mod:`repro.fl.features`).
     """
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(feature_runtime=feature_runtime)
     if name == "thread":
-        return ThreadPoolBackend(max_workers=max_workers)
+        return ThreadPoolBackend(
+            max_workers=max_workers, feature_runtime=feature_runtime
+        )
     if name == "process":
         return ProcessPoolBackend(
             max_workers=max_workers,
             segment_pool=segment_pool,
             persistent=persistent,
+            feature_runtime=feature_runtime,
         )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

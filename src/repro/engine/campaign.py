@@ -175,6 +175,11 @@ class CampaignSegmentPool:
         self._segments: dict[Hashable, PoolSegment] = {}
         self._closed = False
         self.stats = {"publishes": 0, "hits": 0, "segments": 0}
+        #: publishes broken down by key kind — tuple keys' first element
+        #: ("feat" / "eval" for the feature runtime's segments, "shard" or
+        #: campaign-specific for raw shards); what the campaign benchmarks
+        #: assert publish-once economics against.
+        self.publishes_by_kind: dict = {}
         register_emergency_cleanup(self)
 
     def __len__(self) -> int:
@@ -205,6 +210,8 @@ class CampaignSegmentPool:
             segment = PoolSegment(key=key, shm=shm, layout=layout, nbytes=nbytes)
             self._segments[key] = segment
             self.stats["publishes"] += 1
+            kind = key[0] if isinstance(key, tuple) and key else "other"
+            self.publishes_by_kind[kind] = self.publishes_by_kind.get(kind, 0) + 1
             self.stats["segments"] = len(self._segments)
         else:
             self.stats["hits"] += 1

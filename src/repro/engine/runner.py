@@ -95,6 +95,7 @@ def run_async_federated_training(
     checkpoint_every: int = 0,
     on_event: Callable[[EventRecord], None] | None = None,
     resume: AsyncRunState | None = None,
+    feature_runtime=None,
 ) -> EventLog:
     """Process up to ``max_events`` client completions through ``aggregator``.
 
@@ -119,6 +120,12 @@ def run_async_federated_training(
     ``resume`` is internal: a restored state handed over by the resume
     entry point in :mod:`repro.fl.checkpoint`. The caller must restore the
     server's weights and round index before the call.
+
+    ``feature_runtime`` (a :class:`~repro.fl.features.FeatureRuntime`) only
+    applies when no ``backend`` is given: the internally-created serial
+    backend then runs head-only client rounds on cached ϕ(x) features —
+    bitwise identical results, documented in :mod:`repro.fl.features`. An
+    explicit backend carries its own runtime.
     """
     if max_events <= 0:
         raise ValueError("max_events must be positive")
@@ -133,7 +140,7 @@ def run_async_federated_training(
     timing = timing or TimingModel()
     availability = availability or AlwaysAvailable()
     owns_backend = backend is None
-    backend = backend or SerialBackend()
+    backend = backend or SerialBackend(feature_runtime=feature_runtime)
     if max_concurrency is None:
         max_concurrency = len(clients)
     if max_concurrency <= 0:

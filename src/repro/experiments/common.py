@@ -27,8 +27,15 @@ from repro.data import synthetic
 from repro.data.partition import dirichlet_partition
 from repro.data.synthetic import DomainSpec
 from repro.engine.aggregators import make_aggregator
-from repro.engine.backends import BACKENDS, ExecutionBackend, make_backend
+from repro.engine.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    PooledEvaluator,
+    ProcessPoolBackend,
+    make_backend,
+)
 from repro.engine.campaign import CampaignSegmentPool
+from repro.fl.features import FeatureRuntime
 from repro.engine.records import EventLog
 from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
@@ -150,6 +157,15 @@ class ExperimentHarness:
     :meth:`close` (or use the harness as a context manager) when done;
     segments are additionally unlinked on interpreter exit / fatal signals
     as a crash-path fallback.
+
+    Frozen-feature cache (``feature_cache``, default on): one
+    :class:`~repro.fl.features.FeatureRuntime` per campaign materialises
+    each distinct shard's ϕ(x) once per ϕ fingerprint, so every client
+    round and selector pass runs head-only — bitwise identical to the full
+    forward (see :mod:`repro.fl.features`). With the process backend the
+    features live in pool segments (published once per campaign) and
+    ``Server.evaluate`` runs as pooled, sharded jobs on the warm workers
+    through :class:`~repro.engine.backends.PooledEvaluator`.
     """
 
     def __init__(
@@ -165,6 +181,7 @@ class ExperimentHarness:
         server_lr: float = 1.0,
         evals_per_round: int = 8,
         segment_pool: CampaignSegmentPool | None = None,
+        feature_cache: bool = True,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -190,6 +207,8 @@ class ExperimentHarness:
         self.segment_pool = segment_pool
         self._owns_pool = segment_pool is None
         self._campaign_backend = None
+        self.feature_cache = feature_cache
+        self.feature_runtime = FeatureRuntime() if feature_cache else None
         self._world = None
         self._source_domain = None
         self._specs: dict[tuple[str, str], DomainSpec] = {}
@@ -215,9 +234,12 @@ class ExperimentHarness:
                     self.max_workers,
                     segment_pool=self.segment_pool,
                     persistent=True,
+                    feature_runtime=self.feature_runtime,
                 )
             return self._campaign_backend
-        return make_backend(name, self.max_workers)
+        return make_backend(
+            name, self.max_workers, feature_runtime=self.feature_runtime
+        )
 
     def close(self) -> None:
         """Tear down the campaign runtime (workers, shared-memory segments).
@@ -232,6 +254,8 @@ class ExperimentHarness:
         if self.segment_pool is not None and self._owns_pool:
             self.segment_pool.close()
             self.segment_pool = None
+        if self.feature_runtime is not None:
+            self.feature_runtime.clear()
 
     def __enter__(self) -> "ExperimentHarness":
         return self
@@ -422,7 +446,30 @@ class ExperimentHarness:
             )
             for i, shard in enumerate(shards)
         ]
-        return Server(model, spec.test), clients, run_seed
+        server = Server(model, spec.test, cache_features=self.feature_cache)
+        return server, clients, run_seed
+
+    def _test_pool_key(self, dataset: str, model_kind: str) -> tuple:
+        """Campaign-stable identity of a run's test set for pooled eval.
+
+        Mirrors the shard identity recipe: the harness caches one spec per
+        (dataset, model_kind), so these parts pin the test set's bytes for
+        the whole campaign and its segments publish once.
+        """
+        return ("test", self.seed, dataset, model_kind)
+
+    def _attach_pooled_evaluator(
+        self, server: Server, run_backend, dataset: str, model_kind: str
+    ) -> bool:
+        """Route ``server.evaluate`` to the warm workers when possible."""
+        if not isinstance(run_backend, ProcessPoolBackend):
+            return False
+        server.evaluator = PooledEvaluator(
+            run_backend,
+            server.test_set,
+            test_key=self._test_pool_key(dataset, model_kind),
+        )
+        return True
 
     def federated(
         self,
@@ -482,19 +529,26 @@ class ExperimentHarness:
                     participation=participation,
                     timing=self.timing,
                     verbose=verbose,
+                    feature_runtime=self.feature_runtime,
                 )
             else:
                 with self.make_run_backend(backend) as run_backend:
-                    history = run_federated_training(
-                        server,
-                        clients,
-                        rounds=rounds,
-                        seed=run_seed + 1,
-                        participation=participation,
-                        timing=self.timing,
-                        backend=run_backend,
-                        verbose=verbose,
-                    )
+                    try:
+                        self._attach_pooled_evaluator(
+                            server, run_backend, dataset, model_kind
+                        )
+                        history = run_federated_training(
+                            server,
+                            clients,
+                            rounds=rounds,
+                            seed=run_seed + 1,
+                            participation=participation,
+                            timing=self.timing,
+                            backend=run_backend,
+                            verbose=verbose,
+                        )
+                    finally:
+                        server.evaluator = None
         else:
             aggregator = make_aggregator(
                 mode,
@@ -520,18 +574,24 @@ class ExperimentHarness:
                     1, int(round(participation_fraction * num_clients))
                 )
             with self.make_run_backend(backend) as run_backend:
-                history = run_async_federated_training(
-                    server,
-                    clients,
-                    aggregator,
-                    max_events=max_events,
-                    seed=run_seed + 1,
-                    timing=self.timing,
-                    backend=run_backend,
-                    max_concurrency=max_concurrency,
-                    eval_every=eval_every,
-                    verbose=verbose,
-                )
+                try:
+                    self._attach_pooled_evaluator(
+                        server, run_backend, dataset, model_kind
+                    )
+                    history = run_async_federated_training(
+                        server,
+                        clients,
+                        aggregator,
+                        max_events=max_events,
+                        seed=run_seed + 1,
+                        timing=self.timing,
+                        backend=run_backend,
+                        max_concurrency=max_concurrency,
+                        eval_every=eval_every,
+                        verbose=verbose,
+                    )
+                finally:
+                    server.evaluator = None
         result = RunResult(
             method=method,
             dataset=dataset,

@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for thread/process backends (default: auto)",
     )
     parser.add_argument(
+        "--no-feature-cache",
+        action="store_true",
+        help=(
+            "disable the frozen-feature cache (repro.fl.features) and run "
+            "the full forward through ϕ everywhere — results are bitwise "
+            "identical either way; this just forfeits the speedup"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -82,6 +91,7 @@ def run_experiments(
     mode: str = "sync",
     backend: str = "serial",
     max_workers: int | None = None,
+    feature_cache: bool = True,
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports."""
     ids = only or list_experiments()
@@ -91,7 +101,12 @@ def run_experiments(
     # shared-memory segment pool); the context manager guarantees segments
     # are unlinked however the campaign ends.
     with ExperimentHarness(
-        scale, seed=seed, mode=mode, backend=backend, max_workers=max_workers
+        scale,
+        seed=seed,
+        mode=mode,
+        backend=backend,
+        max_workers=max_workers,
+        feature_cache=feature_cache,
     ) as harness:
         for experiment_id in ids:
             runner, description = get_experiment(experiment_id)
@@ -123,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         mode=args.mode,
         backend=args.backend,
         max_workers=args.max_workers,
+        feature_cache=not args.no_feature_cache,
     )
     return 0
 

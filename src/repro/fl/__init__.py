@@ -20,6 +20,7 @@ from repro.fl.selection import (
     FullSelector,
     RandomSelector,
 )
+from repro.fl.features import FeatureRuntime, batched_head_logits, compute_features
 from repro.fl.strategies import LocalSolver, LocalUpdate
 from repro.fl.client import Client
 from repro.fl.server import Server

@@ -17,13 +17,16 @@ the *bitwise-identical* event sequence, accuracies and final weights of an
 uninterrupted run, under every execution backend.
 
 The on-disk format is **log-structured** so periodic saves stay O(new
-events + model) instead of growing with run length: event records live in
-an append-only JSONL journal (``async_events.jsonl``) whose committed
-prefix is pinned by the manifest; pending-dispatch broadcast snapshots are
-delta-encoded against the server state (only keys whose bytes differ are
-stored — the frozen ϕ, the bulk of the model, is inherited); and each save
-rewrites only the manifest, the model head and the (bounded) FedBuff
-buffer. A torn trailing journal line from a crash mid-append sits beyond
+events + changed head) instead of growing with run length: event records
+live in an append-only JSONL journal (``async_events.jsonl``) whose
+committed prefix is pinned by the manifest; pending-dispatch broadcast
+snapshots are delta-encoded against the server state (only keys whose
+bytes differ are stored — the frozen ϕ, the bulk of the model, is
+inherited); and the server state itself is written as one full *base*
+generation plus per-save deltas of the keys whose content digests changed
+— after round 0 that is just θ, so a tight-cadence save rewrites the
+manifest, the changed head and the (bounded) FedBuff buffer, strictly
+below O(model). A torn trailing journal line from a crash mid-append sits beyond
 the committed byte offset and is ignored on load and truncated on the
 next save; :func:`compact_async_checkpoint` rewrites the directory from
 scratch. See DESIGN.md ("Async checkpoint format").
@@ -31,6 +34,7 @@ scratch. See DESIGN.md ("Async checkpoint format").
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import zlib
@@ -321,6 +325,77 @@ def _write_journal(
     }
 
 
+def _array_digest(value: np.ndarray) -> str:
+    """Content fingerprint of one array (dtype, shape and exact bytes)."""
+    contiguous = np.ascontiguousarray(value)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(contiguous.dtype).encode())
+    digest.update(repr(contiguous.shape).encode())
+    digest.update(contiguous.data)
+    return digest.hexdigest()
+
+
+def _encode_server(
+    path: str,
+    state: "AsyncRunState",
+    previous: dict | None,
+    full: bool,
+    generation: int,
+) -> tuple[dict, str, list[str]]:
+    """Write the server payload as a base + per-generation delta.
+
+    The *base* is a full state-dict npz written once (first save, or
+    compaction) whose per-key content digests live in the manifest; every
+    subsequent save writes only the keys whose digests changed — after
+    round 0 that is just θ, so tight-cadence saves shrink from O(model) to
+    O(changed head). Returns the base manifest entry, the delta file name
+    and the keys inherited from the base.
+
+    The base is only reused when its file still exists and the manifest
+    chain is intact; anything else (legacy directory, deleted file)
+    falls back to a fresh full base — a self-contained two-file encoding,
+    never a generation chain, so load needs exactly one base + one delta.
+
+    Per-save *CPU* deliberately stays O(model): every key is re-digested
+    because change detection must be content-based — the aggregation
+    paths recycle θ buffers in place (``Server._theta_scratch``,
+    ``AsyncAggregator.recycle``), so an array object's identity says
+    nothing about its bytes and an identity-memoized digest would
+    silently inherit stale values. What the encoding shrinks is the
+    fsync'd *write* path (bytes + durability), which dominates a save.
+    """
+    delta_file = f"async_server-{generation}.npz"
+    base_entry = None if full else (previous or {}).get("server_base")
+    if base_entry is not None and not os.path.exists(
+        os.path.join(path, base_entry["file"])
+    ):
+        base_entry = None
+    if base_entry is None:
+        base_file = f"async_server_base-{generation}.npz"
+        base_entry = {
+            "file": base_file,
+            "digests": {
+                key: _array_digest(value)
+                for key, value in state.server_state.items()
+            },
+        }
+        save_state(os.path.join(path, base_file), state.server_state)
+        _fsync_file(os.path.join(path, base_file))
+        delta: dict[str, np.ndarray] = {}
+        inherited = list(state.server_state)
+    else:
+        digests = base_entry["digests"]
+        delta = {}
+        inherited = []
+        for key, value in state.server_state.items():
+            if digests.get(key) == _array_digest(value):
+                inherited.append(key)
+            else:
+                delta[key] = value
+    np.savez(os.path.join(path, delta_file), **delta)
+    return base_entry, delta_file, inherited
+
+
 def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
     """True iff the arrays carry identical bytes (not just equal values).
 
@@ -374,10 +449,12 @@ def save_async_checkpoint(
 
     Incremental cost — the format is log-structured (module docstring):
     per save, only the new event records are appended to the journal, only
-    snapshot keys that differ from the server state are written, and only
-    the manifest, the model head and the bounded FedBuff buffer are
-    rewritten — O(new events + model), independent of how many events the
-    run has processed. ``full=True`` forces a from-scratch journal rewrite
+    snapshot keys that differ from the server state are written, and the
+    server payload is a delta against its base generation (only keys whose
+    digests changed — after round 0 just θ) plus the manifest and the
+    bounded FedBuff buffer — O(new events + changed head), independent of
+    run length and strictly below O(model) at tight cadences. ``full=True``
+    forces a from-scratch rewrite of the journal and the server base
     (compaction).
 
     Crash safety — checkpoints exist precisely to survive the process
@@ -399,7 +476,10 @@ def save_async_checkpoint(
     }
     journal = _write_journal(path, state, previous, full, generation)
     snapshot_arrays, snapshot_inherits = _encode_snapshots(state)
-    save_state(os.path.join(path, files["server"]), state.server_state)
+    server_base, server_delta, server_inherits = _encode_server(
+        path, state, previous, full, generation
+    )
+    files["server"] = server_delta
     np.savez(os.path.join(path, files["snapshots"]), **snapshot_arrays)
     np.savez(
         os.path.join(path, files["buffer"]),
@@ -410,11 +490,14 @@ def save_async_checkpoint(
         },
     )
     payload = {
-        "format": 2,
+        "format": 3,
         "generation": generation,
         "files": files,
         "journal": journal,
         "snapshot_inherits": snapshot_inherits,
+        "server_base": server_base,
+        "server_inherits": server_inherits,
+        "server_keys": list(state.server_state),
         "clock_now": state.clock_now,
         "scheduler_rng_state": _jsonable(state.scheduler_rng_state),
         "idle_rng_states": {
@@ -449,11 +532,12 @@ def save_async_checkpoint(
         os.fsync(handle.fileno())
     os.replace(staging, manifest)
     _fsync_file(path)  # the rename itself lives in the directory entry
+    keep = set(files.values()) | {server_base["file"]}
     for name in os.listdir(path):  # best-effort GC of superseded payloads
         superseded = (
             name.startswith("async_")
             and name.endswith(".npz")
-            and name not in files.values()
+            and name not in keep
         ) or (
             name.startswith(_ASYNC_JOURNAL_PREFIX)
             and name != journal["file"]
@@ -508,7 +592,21 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
     with open(os.path.join(path, _ASYNC_STATE_FILE)) as handle:
         payload = json.load(handle)
     files = payload["files"]
-    server_state = load_state(os.path.join(path, files["server"]))
+    if "server_base" in payload:
+        # Base + delta encoding (format 3): inherited keys come from the
+        # base generation's full payload, changed keys from the delta.
+        base = load_state(os.path.join(path, payload["server_base"]["file"]))
+        delta = load_state(os.path.join(path, files["server"]))
+        inherited = set(payload["server_inherits"])
+        order = payload.get("server_keys") or (
+            payload["server_inherits"] + sorted(delta)
+        )
+        server_state = {
+            key: (delta[key] if key not in inherited else base[key])
+            for key in order
+        }
+    else:  # legacy format: the server payload is the full state dict
+        server_state = load_state(os.path.join(path, files["server"]))
     snapshots: dict[int, dict[str, np.ndarray]] = {}
     # Delta-decoded snapshots: inherited keys come from the same
     # generation's server payload, stored keys from the snapshots payload.

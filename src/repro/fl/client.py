@@ -15,7 +15,7 @@ from repro.fl.selection import DataSelector, selected_count
 from repro.fl.strategies import LocalSolver, LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
-from repro.nn.serialization import theta_keys
+from repro.nn.serialization import theta_keys, theta_state
 
 
 class Client:
@@ -30,7 +30,15 @@ class Client:
     :class:`~repro.engine.campaign.CampaignSegmentPool` use it to publish
     each distinct shard into shared memory once per campaign instead of
     once per run; clients without a key keep per-run segments.
+
+    ``supports_feature_cache`` gates the frozen-feature fast path
+    (:mod:`repro.fl.features`): subclasses that change the model's ϕ/θ
+    split per round (e.g. tiered clients) set it False so backends never
+    hand them features materialised for a different split.
     """
+
+    #: whether backends may pass this client cached ϕ(x) features
+    supports_feature_cache = True
 
     def __init__(
         self,
@@ -89,6 +97,7 @@ class Client:
         model: SegmentedModel,
         global_state: dict[str, np.ndarray],
         timing: TimingModel | None = None,
+        features: np.ndarray | None = None,
     ) -> LocalUpdate:
         """Execute one local round in the given workspace model.
 
@@ -96,11 +105,26 @@ class Client:
         selection, §IV-A3), fine-tunes the trainable part, and returns the
         updated θ together with the selected count used as the aggregation
         weight.
+
+        ``features`` is the cached eval-mode ϕ(x) of the whole shard (see
+        :mod:`repro.fl.features`). When given, the round is head-only:
+        just θ is loaded from the broadcast (ϕ is never read — the
+        workspace model's resident ϕ is irrelevant), selection scores the
+        head on cached features, and the solver trains on the selected
+        features. Results are bitwise identical to the full-forward path;
+        the billed ``train_seconds`` still price the full backbone — the
+        cache accelerates the simulator, not the simulated device.
         """
-        model.load_state_dict(global_state)
+        if features is not None:
+            model.load_state_dict(
+                {k: global_state[k] for k in theta_keys(model)}, strict=False
+            )
+        else:
+            model.load_state_dict(global_state)
         # Selection scores with the *received* global model, eval mode.
         indices = self.selector.select(
-            model, self.dataset, self.selection_fraction, self.rng
+            model, self.dataset, self.selection_fraction, self.rng,
+            features=features,
         )
         selected = self.dataset.subset(indices)
         model.set_partial_train_mode()
@@ -110,13 +134,12 @@ class Client:
             else None
         )
         mean_loss = self.solver.run(
-            model, selected, self.epochs, self.rng, global_reference=reference
+            model, selected, self.epochs, self.rng, global_reference=reference,
+            features=features[indices] if features is not None else None,
         )
         model.eval()
-        state = model.state_dict()
-        keys = theta_keys(model)
         update = LocalUpdate(
-            theta={k: state[k] for k in keys},
+            theta=theta_state(model),
             num_selected=len(selected),
             num_local=len(self.dataset),
             mean_loss=mean_loss,

@@ -101,6 +101,7 @@ def run_federated_training(
     eval_every: int = 1,
     backend: "ExecutionBackend | None" = None,
     verbose: bool = False,
+    feature_runtime=None,
 ) -> TrainingHistory:
     """Run ``rounds`` communication rounds of Algorithm 1.
 
@@ -111,6 +112,11 @@ def run_federated_training(
     :class:`~repro.engine.backends.ExecutionBackend` runs them in parallel
     workers with bitwise-identical results (updates are aggregated in
     participant order either way).
+
+    ``feature_runtime`` (a :class:`~repro.fl.features.FeatureRuntime`)
+    applies to the inline no-backend path: client rounds then consume
+    cached ϕ(x) features — head-only execution, bitwise identical to the
+    full forward. Backends carry their own runtime.
 
     A round whose participant set is empty (availability churn — e.g.
     :class:`~repro.fl.sampling.BernoulliParticipation`) skips aggregation
@@ -132,7 +138,16 @@ def run_federated_training(
         participants = [clients[int(cid)] for cid in chosen]
         if backend is None:
             updates = [
-                client.run_round(server.model, broadcast, timing=timing)
+                client.run_round(
+                    server.model,
+                    broadcast,
+                    timing=timing,
+                    features=(
+                        feature_runtime.features_for(client, server.model)
+                        if feature_runtime is not None
+                        else None
+                    ),
+                )
                 for client in participants
             ]
         else:

@@ -40,7 +40,14 @@ def batched_logits(
 
 
 class DataSelector:
-    """Interface: pick the local sample indices used for this round."""
+    """Interface: pick the local sample indices used for this round.
+
+    ``features``, when given, is the cached eval-mode ϕ(x) of the *whole*
+    local shard (see :mod:`repro.fl.features`); selectors that score by a
+    forward pass consume it through the model's head instead of re-running
+    the frozen backbone, bitwise-identically. Selectors that never look at
+    the model ignore it.
+    """
 
     #: display name used in reports
     name = "base"
@@ -54,6 +61,7 @@ class DataSelector:
         dataset: Dataset,
         fraction: float,
         rng: np.random.Generator,
+        features: np.ndarray | None = None,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -64,7 +72,7 @@ class FullSelector(DataSelector):
     name = "all"
     requires_forward = False
 
-    def select(self, model, dataset, fraction, rng):
+    def select(self, model, dataset, fraction, rng, features=None):
         if fraction != 1.0:
             raise ValueError("FullSelector only supports fraction=1.0")
         return np.arange(len(dataset))
@@ -76,7 +84,7 @@ class RandomSelector(DataSelector):
     name = "rds"
     requires_forward = False
 
-    def select(self, model, dataset, fraction, rng):
+    def select(self, model, dataset, fraction, rng, features=None):
         n = len(dataset)
         k = selected_count(n, fraction)
         return np.sort(rng.choice(n, size=k, replace=False))
@@ -99,16 +107,29 @@ class EntropySelector(DataSelector):
         self.temperature = temperature
         self.batch_size = batch_size
 
-    def scores(self, model: Module, dataset: Dataset) -> np.ndarray:
+    def scores(
+        self,
+        model: Module,
+        dataset: Dataset,
+        features: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Per-sample entropy under the hardened softmax (higher = selected)."""
-        x, _ = dataset.arrays()
-        logits = batched_logits(model, x, self.batch_size)
+        if features is not None:
+            # Cached ϕ(x): only the head runs. Same chunking as the raw
+            # path, so the logits — and the selected set — are bitwise
+            # identical (repro.fl.features documents the invariant).
+            from repro.fl.features import batched_head_logits
+
+            logits = batched_head_logits(model, features, self.batch_size)
+        else:
+            x, _ = dataset.arrays()
+            logits = batched_logits(model, x, self.batch_size)
         return F.entropy_from_logits(logits, self.temperature)
 
-    def select(self, model, dataset, fraction, rng):
+    def select(self, model, dataset, fraction, rng, features=None):
         n = len(dataset)
         k = selected_count(n, fraction)
-        entropy = self.scores(model, dataset)
+        entropy = self.scores(model, dataset, features)
         # Highest-entropy samples are the "harder but more valuable" ones.
         top = np.argpartition(entropy, n - k)[n - k :]
         return np.sort(top)

@@ -6,10 +6,12 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.fl.aggregation import weighted_average
+from repro.fl.features import batched_head_logits, compute_features
 from repro.fl.selection import batched_logits
 from repro.fl.strategies import LocalUpdate
 from repro.nn import functional as F
 from repro.nn.segmented import SegmentedModel
+from repro.nn.serialization import theta_keys
 
 
 class Server:
@@ -17,13 +19,49 @@ class Server:
 
     The server's model doubles as the shared workspace in which clients run
     their local rounds; ``global_state`` snapshots make that safe.
+
+    Evaluation exploits the ϕ/θ split twice (``cache_features``, default
+    on — results are bitwise identical either way):
+
+    - only θ changed after round 0, so once ϕ is resident in the model,
+      each evaluation loads just the θ keys instead of the full state;
+    - the frozen ϕ(test set) is materialised once per ϕ fingerprint and
+      every evaluation runs only the head over it.
+
+    ``evaluator``, when attached (see
+    :class:`~repro.engine.backends.PooledEvaluator`), delegates evaluation
+    to sharded jobs on the warm process-pool workers instead — the model
+    workspace is then left untouched by :meth:`evaluate`.
     """
 
-    def __init__(self, model: SegmentedModel, test_set: Dataset):
+    def __init__(
+        self,
+        model: SegmentedModel,
+        test_set: Dataset,
+        cache_features: bool = True,
+    ):
         self.model = model
         self.test_set = test_set
         self.global_state = model.state_dict()
         self.round_index = 0
+        self.cache_features = cache_features
+        #: pooled-evaluation hook; attached by campaign runtimes
+        self.evaluator = None
+        #: ϕ fingerprint of the model right after the last full load; the
+        #: θ-only fast path is only taken while the resident ϕ still
+        #: hashes to this, so code that trains ϕ in the workspace model
+        #: (e.g. tiered clients re-freezing per round) self-heals into a
+        #: full reload instead of evaluating a stale backbone
+        self._resident_fingerprint: str | None = None
+        self._test_features: tuple[str, np.ndarray] | None = None
+        #: observability counters for the evaluation fast paths
+        self.eval_stats = {
+            "local_evals": 0,
+            "pooled_evals": 0,
+            "full_loads": 0,
+            "theta_loads": 0,
+            "feature_builds": 0,
+        }
         # Alternating θ accumulators for aggregate(): the buffer written
         # two rounds ago is only reachable from that round's superseded
         # global_state, so it can be reused without touching anything a
@@ -61,9 +99,58 @@ class Server:
         self.global_state = merged
         self.round_index += 1
 
+    def invalidate_resident_model(self) -> None:
+        """Force the next local evaluation to reload the full state.
+
+        The fast path already detects a mutated ϕ by fingerprint; this is
+        the explicit escape hatch for callers that want the reload
+        regardless.
+        """
+        self._resident_fingerprint = None
+
     def evaluate(self, batch_size: int = 512) -> float:
         """Top-1 accuracy of the current global model on the test set."""
-        self.model.load_state_dict(self.global_state)
-        x, y = self.test_set.arrays()
-        logits = batched_logits(self.model, x, batch_size)
-        return F.accuracy(logits, y)
+        if self.evaluator is not None:
+            self.eval_stats["pooled_evals"] += 1
+            return self.evaluator.evaluate(
+                self.model, self.global_state, batch_size=batch_size
+            )
+        self.eval_stats["local_evals"] += 1
+        fingerprint = (
+            self.model.phi_fingerprint() if self.cache_features else None
+        )
+        if fingerprint is None:
+            # No frozen prefix (or caching disabled): the seed behaviour.
+            self.model.load_state_dict(self.global_state)
+            self._resident_fingerprint = None
+            self.eval_stats["full_loads"] += 1
+            x, y = self.test_set.arrays()
+            logits = batched_logits(self.model, x, batch_size)
+            return F.accuracy(logits, y)
+        if fingerprint == self._resident_fingerprint:
+            # The resident ϕ still hashes to what the last full load left
+            # behind, so only θ can differ from the global state.
+            self.model.load_state_dict(
+                {k: self.global_state[k] for k in theta_keys(self.model)},
+                strict=False,
+            )
+            self.eval_stats["theta_loads"] += 1
+        else:
+            # First evaluation, or something trained ϕ in the workspace
+            # (tiered clients, foreign loads): restore the global model
+            # wholesale and re-fingerprint the clean backbone.
+            self.model.load_state_dict(self.global_state)
+            fingerprint = self.model.phi_fingerprint()
+            self._resident_fingerprint = fingerprint
+            self.eval_stats["full_loads"] += 1
+        if self._test_features is None or self._test_features[0] != fingerprint:
+            x, _ = self.test_set.arrays()
+            self._test_features = (
+                fingerprint,
+                compute_features(self.model, x, batch_size),
+            )
+            self.eval_stats["feature_builds"] += 1
+        logits = batched_head_logits(
+            self.model, self._test_features[1], batch_size
+        )
+        return F.accuracy(logits, self.test_set.labels)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.dataset import DataLoader, Dataset
+from repro.data.dataset import ArrayDataset, DataLoader, Dataset
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import SGD
@@ -56,11 +56,19 @@ class LocalSolver:
         epochs: int,
         rng: np.random.Generator,
         global_reference: dict[str, np.ndarray] | None = None,
+        features: np.ndarray | None = None,
     ) -> float:
         """Train ``model`` in place for ``epochs`` epochs; returns mean loss.
 
         ``global_reference`` (a state dict snapshot of the broadcast model)
         is required when ``prox_mu > 0``.
+
+        ``features``, when given, is the cached eval-mode ϕ(x) of exactly
+        the selected samples (aligned with ``dataset``'s labels): each step
+        then runs only the trainable head on the feature minibatch. The
+        loader draws identical permutations from ``rng`` and the head sees
+        identical minibatch bytes, so the θ trajectory is bitwise identical
+        to the full-forward path (see :mod:`repro.fl.features`).
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -78,11 +86,22 @@ class LocalSolver:
             weight_decay=self.weight_decay,
         )
         loss_fn = CrossEntropyLoss()
-        loader = DataLoader(dataset, self.batch_size, shuffle=True, rng=rng)
+        if features is not None:
+            if len(features) != len(dataset):
+                raise ValueError(
+                    f"features ({len(features)}) and dataset ({len(dataset)}) "
+                    f"disagree"
+                )
+            data = ArrayDataset(features, dataset.arrays()[1])
+            forward = model.forward_head
+        else:
+            data = dataset
+            forward = model
+        loader = DataLoader(data, self.batch_size, shuffle=True, rng=rng)
         losses: list[float] = []
         for _epoch in range(epochs):
             for xb, yb in loader:
-                logits = model(xb)
+                logits = forward(xb)
                 losses.append(loss_fn.forward(logits, yb))
                 model.zero_grad()
                 model.backward(loss_fn.backward())

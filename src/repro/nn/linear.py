@@ -7,6 +7,38 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
+#: fixed row-tile of the canonical forward matmul (see below)
+_TILE = 32
+
+
+def row_canonical_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight`` computed in fixed 32-row gemm tiles.
+
+    BLAS picks its kernel — and therefore its summation order — from the
+    full matrix dimensions, so the same input row can produce different
+    low bits depending on how many rows share its batch (a 1-row matmul
+    even dispatches to gemv). Computing every product as a sequence of
+    gemms of *exactly* ``_TILE`` rows (the last tile zero-padded) pins the
+    kernel for every row regardless of batch size, making a row's output
+    bitwise independent of its batch — the row-determinism invariant the
+    frozen-feature cache (:mod:`repro.fl.features`) is built on. Within a
+    tile, rows are independent dot products over a fixed k-loop, so the
+    padding rows and a row's position cannot perturb it.
+    """
+    n = x.shape[0]
+    if n == 0:
+        return x @ weight  # empty batch: shape-only, nothing to canonicalise
+    full = (n // _TILE) * _TILE
+    out = np.empty((n, weight.shape[1]), dtype=np.result_type(x, weight))
+    for i in range(0, full, _TILE):
+        np.matmul(x[i : i + _TILE], weight, out=out[i : i + _TILE])
+    remainder = n - full
+    if remainder:
+        padded = np.zeros((_TILE, x.shape[1]), dtype=x.dtype)
+        padded[:remainder] = x[full:]
+        out[full:] = (padded @ weight)[:remainder]
+    return out
+
 
 class Linear(Module):
     """Affine map ``y = x @ W + b`` for inputs of shape ``(n, in_features)``."""
@@ -37,7 +69,7 @@ class Linear(Module):
         # The input is only needed for the weight gradient; skip the copy
         # entirely when this layer is frozen.
         self._cache_x = x if self.weight.requires_grad else None
-        y = x @ self.weight.data
+        y = row_canonical_matmul(x, self.weight.data)
         if self.bias is not None:
             y = y + self.bias.data
         return y

@@ -9,6 +9,8 @@ freezing/truncated-backward/activation-collection all key off segment names.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.nn.module import Module
@@ -73,6 +75,71 @@ class SegmentedModel(Module):
             feat = x.mean(axis=(2, 3)) if x.ndim == 4 else x
             collected[name] = feat
         return collected
+
+    # -- frozen-prefix (ϕ) structure ----------------------------------------
+    def frozen_split_index(self) -> int:
+        """Number of leading segments with no trainable parameters.
+
+        Segments ``[0, split)`` form the frozen feature extractor ϕ whose
+        eval-mode output is deterministic per sample; segments ``[split, …)``
+        are the trainable part θ. Returns 0 when the first segment is
+        already trainable — or when *nothing* is trainable, since a model
+        with no θ has no meaningful ϕ/θ split to cache against.
+        """
+        segs = self.segments()
+        split = 0
+        for _, segment in segs:
+            if segment.has_trainable():
+                return split
+            split += 1
+        return 0
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """Forward through the frozen prefix ϕ only (segments below θ)."""
+        split = self.frozen_split_index()
+        for _, segment in self.segments()[:split]:
+            x = segment(x)
+        return x
+
+    def forward_head(self, features: np.ndarray) -> np.ndarray:
+        """Forward from the trainable frontier given ϕ's output.
+
+        Populates the forward caches of exactly the segments
+        :meth:`backward` will visit, so a head-only forward/backward pair
+        works without ever touching ϕ.
+        """
+        split = self.frozen_split_index()
+        for _, segment in self.segments()[split:]:
+            features = segment(features)
+        return features
+
+    def phi_fingerprint(self) -> str | None:
+        """Content hash of the frozen prefix ϕ, or None without one.
+
+        Keyed on the split structure (which segments are frozen) plus every
+        frozen parameter's and buffer's name, dtype, shape and bytes — any
+        change to ϕ (different pretrained weights, a different fine-tune
+        level) yields a different fingerprint, which is what invalidates
+        cached ϕ(x) feature arrays (see :mod:`repro.fl.features`).
+        """
+        split = self.frozen_split_index()
+        if split == 0:
+            return None
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(type(self).__name__.encode())
+        for name, segment in self.segments()[:split]:
+            digest.update(name.encode())
+            for p_name, param in sorted(segment.named_parameters(name)):
+                digest.update(p_name.encode())
+                digest.update(str(param.data.dtype).encode())
+                digest.update(repr(param.data.shape).encode())
+                digest.update(np.ascontiguousarray(param.data).data)
+            for b_name, buf in sorted(segment.named_buffers(name)):
+                digest.update(b_name.encode())
+                digest.update(str(buf.dtype).encode())
+                digest.update(repr(buf.shape).encode())
+                digest.update(np.ascontiguousarray(buf).data)
+        return digest.hexdigest()
 
     # -- partial fine-tuning --------------------------------------------------
     def apply_fine_tune_level(self, level: str) -> "SegmentedModel":

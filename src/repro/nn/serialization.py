@@ -56,6 +56,21 @@ def theta_keys(model: SegmentedModel) -> list[str]:
     return keys
 
 
+def theta_state(model: SegmentedModel) -> dict[str, np.ndarray]:
+    """Copy of just the communicated part θ of the model's state.
+
+    Equivalent to ``{k: model.state_dict()[k] for k in theta_keys(model)}``
+    without materialising (and copying) the frozen ϕ — the hot-path
+    extraction every client round performs.
+    """
+    params = dict(model.named_parameters())
+    buffers = dict(model.named_buffers())
+    return {
+        key: (params[key].data if key in params else buffers[key]).copy()
+        for key in theta_keys(model)
+    }
+
+
 def parameter_vector(model: Module, trainable_only: bool = False) -> np.ndarray:
     """Flatten parameters to one vector (for drift/distance diagnostics)."""
     parts = [

@@ -351,11 +351,13 @@ def test_async_checkpoint_survives_torn_save(tmp_path):
     reloaded = load_async_checkpoint(path)
     assert _states_identical(reloaded.server_state, before.server_state)
     with open(os.path.join(path, "async_state.json")) as fh:
-        committed = json.load(fh)["files"]
+        manifest = json.load(fh)
+    committed = set(manifest["files"].values())
+    committed.add(manifest["server_base"]["file"])  # the delta's base
     leftovers = [
         name
         for name in os.listdir(path)
-        if name.endswith(".npz") and name not in committed.values()
+        if name.endswith(".npz") and name not in committed
     ]
     assert not leftovers, f"superseded payloads not collected: {leftovers}"
 
