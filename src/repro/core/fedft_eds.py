@@ -108,6 +108,12 @@ class FedFTEDSConfig:
     #: bitwise identical to the full forward; disable to force the seed
     #: full-forward path
     feature_cache: bool = True
+    #: fused head solver (repro.fl.fastpath): run head-only rounds,
+    #: entropy scoring and pooled evaluation through preplanned
+    #: zero-allocation kernel workspaces — bitwise identical to the layer
+    #: graph, with automatic per-client fallback for unfusible heads;
+    #: disable (``--no-fused-solver``) to force the layer-graph path
+    fused_solver: bool = True
     #: campaign scope for repeated calls: a :class:`FedFTEDSCampaign`
     #: supplies the warm process backend, segment pool and feature runtime
     #: shared across runs (standalone calls build throwaway ones)
@@ -154,10 +160,14 @@ class FedFTEDSCampaign:
     models in one campaign is safe — unrelated runs simply miss the cache.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        feature_byte_budget: int | None = None,
+    ):
         self.max_workers = max_workers
-        self.segment_pool = CampaignSegmentPool()
-        self.feature_runtime = FeatureRuntime()
+        self.segment_pool = CampaignSegmentPool(byte_budget=feature_byte_budget)
+        self.feature_runtime = FeatureRuntime(byte_budget=feature_byte_budget)
         self._process_backend: ProcessPoolBackend | None = None
 
     def backend_for(self, config: "FedFTEDSConfig"):
@@ -171,11 +181,14 @@ class FedFTEDSCampaign:
                     segment_pool=self.segment_pool,
                     persistent=True,
                     feature_runtime=runtime,
+                    fused_solver=config.fused_solver,
                 )
             else:
-                # Honour the run's cache setting on the warm backend; the
-                # per-run segment registrations were cleared by end_run.
+                # Honour the run's cache/fusion settings on the warm
+                # backend; the per-run segment registrations were cleared
+                # by end_run.
                 self._process_backend.feature_runtime = runtime
+                self._process_backend.fused_solver = config.fused_solver
             return self._process_backend
         return make_backend(
             config.backend,
@@ -353,6 +366,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             epochs=config.local_epochs,
             rng=client_rngs[i],
             shard_key=shard_identity + (i,),
+            fused_solver=config.fused_solver,
         )
         for i, shard in enumerate(shards)
     ]
@@ -365,6 +379,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             config.backend,
             config.max_workers,
             feature_runtime=FeatureRuntime() if config.feature_cache else None,
+            fused_solver=config.fused_solver,
         )
     if isinstance(backend, ProcessPoolBackend):
         server.evaluator = PooledEvaluator(

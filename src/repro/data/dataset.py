@@ -44,6 +44,10 @@ class ArrayDataset(Dataset):
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
         return self._inputs, self._labels
 
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
 
 class Subset(Dataset):
     """A view of a parent dataset restricted to given indices."""
@@ -62,6 +66,16 @@ class Subset(Dataset):
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
         x, y = self.parent.arrays()
         return x[self.indices], y[self.indices]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Label gather without materialising the input rows.
+
+        ``arrays()[1]`` would copy the (much larger) input side too; label
+        consumers — the fused solver hands just labels to its plan — skip
+        that entirely.
+        """
+        return self.parent.labels[self.indices]
 
 
 class DataLoader:

@@ -284,10 +284,14 @@ def _untracked_attach(name: str) -> shared_memory.SharedMemory:
 
 #: per-worker caches: model replicas by template-segment name (workers are
 #: campaign-lived, so a new run's template arrives as a new segment, not a
-#: pool restart), attached segments by name, and reconstructed clients by
+#: pool restart), attached segments by name, reconstructed clients by
 #: (shard-segment name, client-descriptor digest) — the same shard hosts a
-#: different client descriptor per method of a campaign.
-_WORKER: dict = {"models": {}, "segments": {}, "clients": {}}
+#: different client descriptor per method of a campaign — and fused
+#: evaluation plans by template name (each mapping (head signature,
+#: feature shape) to a FusedHeadPlan, keyed like the feature segments the
+#: plans consume). All of it is plain per-process memory: a killed worker
+#: takes its plans with it, leaving nothing to clean up.
+_WORKER: dict = {"models": {}, "segments": {}, "clients": {}, "eval_plans": {}}
 
 #: model replicas a worker keeps alive at once; a campaign uses one
 #: template per run, so 2 covers the running run plus its predecessor.
@@ -300,13 +304,42 @@ def _shm_worker_init() -> None:
     _WORKER["models"] = {}
     _WORKER["segments"] = {}
     _WORKER["clients"] = {}
+    _WORKER["eval_plans"] = {}
+
+
+#: attachments a worker keeps mapped at once. Shard/state segments live
+#: for a whole campaign, but budget-evicted feature/eval segments come
+#: back under fresh shm names — an unbounded cache would keep every dead
+#: mapping resident, leaking worker RSS exactly under the memory pressure
+#: the byte budget targets. A job touches at most a handful of segments,
+#: so recently-used entries (this job's) are never the LRU victim.
+_WORKER_SEGMENT_CACHE = 32
 
 
 def _worker_segment(name: str) -> shared_memory.SharedMemory:
-    seg = _WORKER["segments"].get(name)
-    if seg is None:
-        seg = _untracked_attach(name)
-        _WORKER["segments"][name] = seg
+    segments = _WORKER["segments"]
+    seg = segments.get(name)
+    if seg is not None:
+        segments[name] = segments.pop(name)  # LRU touch
+        return seg
+    seg = _untracked_attach(name)
+    segments[name] = seg
+    if len(segments) > _WORKER_SEGMENT_CACHE:
+        # Cached clients hold live views into their shard segments (and
+        # shards are never budget-evicted parent-side), so those names
+        # stay pinned; everything else unmaps oldest-first.
+        pinned = {key[1] for key in _WORKER["clients"]}
+        pinned.add(name)
+        for old in list(segments):
+            if len(segments) <= _WORKER_SEGMENT_CACHE:
+                break
+            if old in pinned:
+                continue
+            victim = segments.pop(old)
+            try:
+                victim.close()
+            except BufferError:  # a live view still pins it; keep it
+                segments[old] = victim
     return seg
 
 
@@ -332,6 +365,7 @@ def _worker_model(name: str, nbytes: int) -> SegmentedModel:
             del _WORKER["models"][evicted]
             for key in [k for k in _WORKER["clients"] if k[0] == evicted]:
                 del _WORKER["clients"][key]
+            _WORKER["eval_plans"].pop(evicted, None)
         _WORKER["models"][name] = model
     return model
 
@@ -391,10 +425,25 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
     arrays = _view_arrays(eval_seg.buf, job["eval_layout"])
     labels = arrays["y"]
     inputs = arrays["f"] if "f" in arrays else arrays["x"]
+    batch = int(job["batch_size"])
+    if "f" in arrays and job.get("fused", True):
+        # Fused evaluation: head-only shards run through a worker-cached
+        # FusedHeadPlan (keyed per template, like the feature segments the
+        # plan consumes), so the per-job Python is dispatch plus the
+        # argmax reduction. Bitwise identical to the module loop below —
+        # the fused forward is the same kernel sequence (repro.nn.fused).
+        from repro.fl.fastpath import bind_head
+
+        cache = _WORKER["eval_plans"].setdefault(job["template_name"], {})
+        bound = bind_head(model, inputs.shape[1:], cache)
+        if bound is not None:
+            return (
+                bound.correct_count(inputs, labels, batch),
+                int(len(labels)),
+            )
     forward = model.forward_head if "f" in arrays else model
     was_training = model.training
     model.eval()
-    batch = int(job["batch_size"])
     correct = 0
     for i in range(0, len(labels), batch):
         preds = np.argmax(forward(inputs[i : i + batch]), axis=-1)
@@ -529,6 +578,7 @@ class ProcessPoolBackend(ExecutionBackend):
         segment_pool: "CampaignSegmentPool | None" = None,
         persistent: bool = False,
         feature_runtime: FeatureRuntime | None = None,
+        fused_solver: bool = True,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -536,6 +586,10 @@ class ProcessPoolBackend(ExecutionBackend):
         self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
         self.segment_pool = segment_pool
         self.persistent = persistent
+        #: whether pooled-evaluation workers may run their shards through
+        #: the fused head plan (client rounds carry their own per-client
+        #: ``fused_solver`` flag inside the pickled descriptor)
+        self.fused_solver = fused_solver
         #: frozen-feature policy: when set, client shards' ϕ(x) (and test
         #: sets for pooled evaluation) are materialised parent-side and
         #: published as segments; workers then run head-only rounds. The
@@ -714,9 +768,10 @@ class ProcessPoolBackend(ExecutionBackend):
             client, "supports_feature_cache", True
         ):
             return None
-        fingerprint = template.phi_fingerprint()
-        if fingerprint is None:
+        chain = template.phi_prefix_chain()
+        if not chain:
             return None
+        fingerprint = chain[-1]
         cache_key = (id(client), fingerprint)
         record = self._features.get(cache_key)
         if record is not None:
@@ -727,14 +782,38 @@ class ProcessPoolBackend(ExecutionBackend):
             if shard_key is not None
             else None
         )
-        record = self._publish_aux(
-            pool_key,
-            lambda: {
-                "f": self.feature_runtime.build(
-                    template, client.dataset.arrays()[0]
+
+        def base_features(prefix_fp: str) -> np.ndarray | None:
+            """This shard's features at a shallower split, as a segment
+            view: this run's registrations first, then the campaign pool —
+            cross-run derivation (run N at a deeper split seeds from run
+            M's pooled segment, which ``end_run`` keeps resident precisely
+            for reuse like this)."""
+            record = self._features.get((id(client), prefix_fp))
+            if record is None and self.segment_pool is not None and (
+                shard_key is not None
+            ):
+                record = self.segment_pool.peek(
+                    feature_pool_key(shard_key, prefix_fp)
                 )
-            },
-        )
+            if record is None:
+                return None
+            return _view_arrays(record.shm.buf, record.layout)["f"]
+
+        def feature_arrays() -> dict[str, np.ndarray]:
+            # Prefix-chain keying: a segment already published for this
+            # shard under a shallower split of the same frozen weights
+            # seeds the build (FeatureRuntime.materialise owns the
+            # derivation-precedence rule — one implementation for the
+            # in-process cache and the shared-memory path alike).
+            return {
+                "f": self.feature_runtime.materialise(
+                    template, chain, base_features,
+                    lambda: client.dataset.arrays()[0],
+                )
+            }
+
+        record = self._publish_aux(pool_key, feature_arrays)
         self._features[cache_key] = record
         self.stats["feature_segments"] = len(self._features)
         return record
@@ -896,6 +975,7 @@ class ProcessPoolBackend(ExecutionBackend):
                         "eval_layout": record.layout,
                         "theta_keys": keys,
                         "batch_size": batch_size,
+                        "fused": self.fused_solver,
                     }
                 )
                 future = self._executor.submit(_shm_eval_shard, job_blob)
@@ -1063,6 +1143,49 @@ class PooledEvaluator:
         )
 
 
+class LazyPooledEvaluator:
+    """A :class:`PooledEvaluator` whose process backend spins up on first use.
+
+    Serves the *synchronous serial* path: a serial campaign has no warm
+    worker pool, but its evaluations (the full test set, every round) are
+    exactly the embarrassingly parallel work the pooled evaluator shards.
+    The factory — typically ``ExperimentHarness.make_run_backend("process")``
+    — is only invoked when an evaluation actually happens, so attaching
+    this costs nothing until then, and the spun-up backend joins the
+    campaign runtime (the campaign, not this evaluator, owns its
+    teardown). Results are bitwise identical to the serial evaluation by
+    the pooled reduction's exactness.
+    """
+
+    def __init__(
+        self,
+        backend_factory,
+        test_set: Dataset,
+        test_key: tuple | None = None,
+        batch_size: int = 512,
+    ):
+        self.backend_factory = backend_factory
+        self.test_set = test_set
+        self.test_key = test_key
+        self.batch_size = batch_size
+        self._delegate: PooledEvaluator | None = None
+
+    def evaluate(
+        self,
+        model: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        batch_size: int | None = None,
+    ) -> float:
+        if self._delegate is None:
+            self._delegate = PooledEvaluator(
+                self.backend_factory(),
+                self.test_set,
+                test_key=self.test_key,
+                batch_size=self.batch_size,
+            )
+        return self._delegate.evaluate(model, global_state, batch_size)
+
+
 # ---------------------------------------------------------------------------
 # Pickling process backend (regression baseline)
 # ---------------------------------------------------------------------------
@@ -1138,6 +1261,7 @@ def make_backend(
     segment_pool: "CampaignSegmentPool | None" = None,
     persistent: bool = False,
     feature_runtime: FeatureRuntime | None = None,
+    fused_solver: bool = True,
 ) -> ExecutionBackend:
     """Instantiate an execution backend by short name.
 
@@ -1145,6 +1269,8 @@ def make_backend(
     :class:`ProcessPoolBackend`); the serial and thread backends hold no
     cross-run state worth pooling. ``feature_runtime`` enables the
     frozen-feature cache on any backend (see :mod:`repro.fl.features`).
+    ``fused_solver`` gates the fused plan in pooled-evaluation workers
+    (client rounds carry their own per-client flag).
     """
     if name == "serial":
         return SerialBackend(feature_runtime=feature_runtime)
@@ -1158,5 +1284,6 @@ def make_backend(
             segment_pool=segment_pool,
             persistent=persistent,
             feature_runtime=feature_runtime,
+            fused_solver=fused_solver,
         )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

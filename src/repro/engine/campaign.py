@@ -147,6 +147,12 @@ def unlink_segment(shm: shared_memory.SharedMemory) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _key_kind(key: Hashable) -> object:
+    """A pool key's kind: the first element of tuple keys ("shard", "feat",
+    "eval", …), "other" for everything else."""
+    return key[0] if isinstance(key, tuple) and key else "other"
+
+
 @dataclass
 class PoolSegment:
     """One published shard segment plus its bookkeeping."""
@@ -171,10 +177,23 @@ class CampaignSegmentPool:
     (currently resident).
     """
 
-    def __init__(self):
+    #: key kinds the automatic byte budget governs: derived artefacts that
+    #: can be rebuilt (feature arrays, sharded test sets) — never the raw
+    #: shards, whose publish-once economics the campaign is built on.
+    BUDGET_KINDS = ("feat", "eval")
+
+    def __init__(self, byte_budget: int | None = None):
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive when set")
+        self.byte_budget = byte_budget
+        # Insertion order doubles as recency order (acquire re-inserts),
+        # so iteration starts at the LRU victim.
         self._segments: dict[Hashable, PoolSegment] = {}
         self._closed = False
-        self.stats = {"publishes": 0, "hits": 0, "segments": 0}
+        self.stats = {
+            "publishes": 0, "hits": 0, "segments": 0, "evictions": 0,
+            "bytes": 0,
+        }
         #: publishes broken down by key kind — tuple keys' first element
         #: ("feat" / "eval" for the feature runtime's segments, "shard" or
         #: campaign-specific for raw shards); what the campaign benchmarks
@@ -210,11 +229,21 @@ class CampaignSegmentPool:
             segment = PoolSegment(key=key, shm=shm, layout=layout, nbytes=nbytes)
             self._segments[key] = segment
             self.stats["publishes"] += 1
-            kind = key[0] if isinstance(key, tuple) and key else "other"
+            self.stats["bytes"] += nbytes
+            kind = _key_kind(key)
             self.publishes_by_kind[kind] = self.publishes_by_kind.get(kind, 0) + 1
             self.stats["segments"] = len(self._segments)
-        else:
-            self.stats["hits"] += 1
+            segment.refs += 1
+            # Budget enforcement only after the fresh segment holds its
+            # reference: trim never evicts referenced segments, so the
+            # entry being returned cannot be the eviction victim even
+            # when it alone exceeds the budget.
+            if self.byte_budget is not None:
+                self.trim(self.byte_budget, kinds=self.BUDGET_KINDS)
+            return segment
+        self.stats["hits"] += 1
+        # LRU touch: re-insert at the recent end of the order.
+        self._segments[key] = self._segments.pop(key)
         segment.refs += 1
         return segment
 
@@ -225,11 +254,52 @@ class CampaignSegmentPool:
             return
         segment.refs = max(0, segment.refs - 1)
 
-    def trim(self) -> int:
-        """Unlink idle (zero-ref) segments; returns how many were evicted."""
+    def peek(self, key: Hashable) -> PoolSegment | None:
+        """The resident segment for ``key`` without publishing or taking a
+        reference; touches the LRU order (a peeked segment is about to be
+        read — e.g. as a prefix-chain derivation base). None on miss."""
+        segment = self._segments.get(key)
+        if segment is not None:
+            self._segments[key] = self._segments.pop(key)
+        return segment
+
+    def trim(
+        self,
+        byte_budget: int | None = None,
+        kinds: tuple | None = None,
+    ) -> int:
+        """Evict idle (zero-ref) segments; returns how many were unlinked.
+
+        Without arguments: the historical behaviour — every idle segment
+        goes. With ``byte_budget``: least-recently-used idle segments are
+        evicted only until the resident bytes *of the evictable kinds*
+        drop to the budget (referenced segments never move, so an
+        over-budget active run is left alone). ``kinds`` restricts both
+        the eviction set and the byte accounting to keys of those kinds
+        (see :data:`BUDGET_KINDS`) — the spill policy for rebuildable
+        feature/test-set segments, which must not thrash just because the
+        unevictable raw shards alone exceed the budget.
+        """
         evicted = 0
+        if byte_budget is None:
+            evictable_bytes = None
+        else:
+            evictable_bytes = sum(
+                s.nbytes
+                for k, s in self._segments.items()
+                if kinds is None or _key_kind(k) in kinds
+            )
         for key in [k for k, s in self._segments.items() if s.refs == 0]:
-            unlink_segment(self._segments.pop(key).shm)
+            if evictable_bytes is not None and evictable_bytes <= byte_budget:
+                break
+            if kinds is not None and _key_kind(key) not in kinds:
+                continue
+            segment = self._segments.pop(key)
+            self.stats["bytes"] -= segment.nbytes
+            if evictable_bytes is not None:
+                evictable_bytes -= segment.nbytes
+            self.stats["evictions"] += 1
+            unlink_segment(segment.shm)
             evicted += 1
         self.stats["segments"] = len(self._segments)
         return evicted
@@ -240,6 +310,7 @@ class CampaignSegmentPool:
             unlink_segment(segment.shm)
         self._segments = {}
         self.stats["segments"] = 0
+        self.stats["bytes"] = 0
         self._closed = True
         unregister_emergency_cleanup(self)
 

@@ -30,6 +30,7 @@ from repro.engine.aggregators import make_aggregator
 from repro.engine.backends import (
     BACKENDS,
     ExecutionBackend,
+    LazyPooledEvaluator,
     PooledEvaluator,
     ProcessPoolBackend,
     make_backend,
@@ -182,6 +183,9 @@ class ExperimentHarness:
         evals_per_round: int = 8,
         segment_pool: CampaignSegmentPool | None = None,
         feature_cache: bool = True,
+        fused_solver: bool = True,
+        pooled_serial_eval: bool = False,
+        feature_byte_budget: int | None = None,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -208,7 +212,23 @@ class ExperimentHarness:
         self._owns_pool = segment_pool is None
         self._campaign_backend = None
         self.feature_cache = feature_cache
-        self.feature_runtime = FeatureRuntime() if feature_cache else None
+        #: fused head-solver opt-out (``--no-fused-solver``): threaded to
+        #: every client and to the pooled-evaluation workers; results are
+        #: bitwise identical either way (repro.fl.fastpath)
+        self.fused_solver = fused_solver
+        #: serve synchronous *serial* runs' evaluations from the pooled
+        #: process workers even when no warm backend exists yet (spins the
+        #: campaign backend up lazily at the first evaluation); a warm
+        #: campaign backend is reused regardless of this flag
+        self.pooled_serial_eval = pooled_serial_eval
+        #: byte budget for rebuildable feature state (the in-process ϕ(x)
+        #: cache and the pool's feature/test segments); None = unbounded
+        self.feature_byte_budget = feature_byte_budget
+        self.feature_runtime = (
+            FeatureRuntime(byte_budget=feature_byte_budget)
+            if feature_cache
+            else None
+        )
         self._world = None
         self._source_domain = None
         self._specs: dict[tuple[str, str], DomainSpec] = {}
@@ -227,7 +247,9 @@ class ExperimentHarness:
         if name == "process":
             if self._campaign_backend is None:
                 if self.segment_pool is None:
-                    self.segment_pool = CampaignSegmentPool()
+                    self.segment_pool = CampaignSegmentPool(
+                        byte_budget=self.feature_byte_budget
+                    )
                     self._owns_pool = True
                 self._campaign_backend = make_backend(
                     "process",
@@ -235,6 +257,7 @@ class ExperimentHarness:
                     segment_pool=self.segment_pool,
                     persistent=True,
                     feature_runtime=self.feature_runtime,
+                    fused_solver=self.fused_solver,
                 )
             return self._campaign_backend
         return make_backend(
@@ -443,6 +466,7 @@ class ExperimentHarness:
                 epochs=s.local_epochs,
                 rng=client_rngs[i],
                 shard_key=shard_identity + (i,),
+                fused_solver=self.fused_solver,
             )
             for i, shard in enumerate(shards)
         ]
@@ -470,6 +494,32 @@ class ExperimentHarness:
             test_key=self._test_pool_key(dataset, model_kind),
         )
         return True
+
+    def _attach_serial_pooled_evaluator(
+        self, server: Server, dataset: str, model_kind: str
+    ) -> bool:
+        """Pooled evaluation for the synchronous serial path.
+
+        A warm campaign process backend (left over from process-backend
+        runs of this campaign) is reused directly; otherwise, with
+        ``pooled_serial_eval``, the campaign backend is spun up lazily at
+        the run's first evaluation. Bitwise identical to serial
+        evaluation either way (exact pooled reduction).
+        """
+        test_key = self._test_pool_key(dataset, model_kind)
+        if self._campaign_backend is not None:
+            server.evaluator = PooledEvaluator(
+                self._campaign_backend, server.test_set, test_key=test_key
+            )
+            return True
+        if self.pooled_serial_eval:
+            server.evaluator = LazyPooledEvaluator(
+                lambda: self.make_run_backend("process"),
+                server.test_set,
+                test_key=test_key,
+            )
+            return True
+        return False
 
     def federated(
         self,
@@ -520,17 +570,25 @@ class ExperimentHarness:
             backend_name = backend or self.backend
             if backend_name == "serial":
                 # Inline execution in the server's workspace model — the
-                # seed behaviour, with no replica copies.
-                history = run_federated_training(
-                    server,
-                    clients,
-                    rounds=rounds,
-                    seed=run_seed + 1,
-                    participation=participation,
-                    timing=self.timing,
-                    verbose=verbose,
-                    feature_runtime=self.feature_runtime,
-                )
+                # seed behaviour, with no replica copies. Evaluations may
+                # still ride the pooled workers (campaign backend warm, or
+                # pooled_serial_eval spin-up).
+                try:
+                    self._attach_serial_pooled_evaluator(
+                        server, dataset, model_kind
+                    )
+                    history = run_federated_training(
+                        server,
+                        clients,
+                        rounds=rounds,
+                        seed=run_seed + 1,
+                        participation=participation,
+                        timing=self.timing,
+                        verbose=verbose,
+                        feature_runtime=self.feature_runtime,
+                    )
+                finally:
+                    server.evaluator = None
             else:
                 with self.make_run_backend(backend) as run_backend:
                     try:

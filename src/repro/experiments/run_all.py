@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-fused-solver",
+        action="store_true",
+        help=(
+            "disable the fused head-solver runtime (repro.fl.fastpath) and "
+            "run head-only rounds through the layer graph — results are "
+            "bitwise identical either way; this just forfeits the speedup"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -92,6 +101,7 @@ def run_experiments(
     backend: str = "serial",
     max_workers: int | None = None,
     feature_cache: bool = True,
+    fused_solver: bool = True,
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports."""
     ids = only or list_experiments()
@@ -107,6 +117,7 @@ def run_experiments(
         backend=backend,
         max_workers=max_workers,
         feature_cache=feature_cache,
+        fused_solver=fused_solver,
     ) as harness:
         for experiment_id in ids:
             runner, description = get_experiment(experiment_id)
@@ -139,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         max_workers=args.max_workers,
         feature_cache=not args.no_feature_cache,
+        fused_solver=not args.no_fused_solver,
     )
     return 0
 

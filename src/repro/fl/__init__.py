@@ -20,7 +20,13 @@ from repro.fl.selection import (
     FullSelector,
     RandomSelector,
 )
-from repro.fl.features import FeatureRuntime, batched_head_logits, compute_features
+from repro.fl.features import (
+    FeatureRuntime,
+    batched_head_logits,
+    compute_features,
+    derive_features,
+)
+from repro.fl.fastpath import BoundHead, client_head_plan
 from repro.fl.strategies import LocalSolver, LocalUpdate
 from repro.fl.client import Client
 from repro.fl.server import Server

@@ -35,6 +35,14 @@ class Client:
     (:mod:`repro.fl.features`): subclasses that change the model's ϕ/θ
     split per round (e.g. tiered clients) set it False so backends never
     hand them features materialised for a different split.
+
+    ``fused_solver`` opts head-only rounds into the fused kernel runtime
+    (:mod:`repro.fl.fastpath`): when cached features arrive and the
+    trainable head is fusible, selection scoring and the local solve run
+    through one preallocated :class:`~repro.nn.fused.FusedHeadPlan`
+    instead of the layer graph — bitwise identical, with automatic
+    per-round fallback whenever the head is not fusible. Disable (e.g.
+    ``repro-experiments --no-fused-solver``) to force the graph path.
     """
 
     #: whether backends may pass this client cached ϕ(x) features
@@ -50,6 +58,7 @@ class Client:
         epochs: int,
         rng: np.random.Generator,
         shard_key: tuple | None = None,
+        fused_solver: bool = True,
     ):
         if len(dataset) == 0:
             raise ValueError(f"client {client_id} has an empty shard")
@@ -65,6 +74,7 @@ class Client:
         self.epochs = epochs
         self.rng = rng
         self.shard_key = shard_key
+        self.fused_solver = fused_solver
 
     def num_samples(self) -> int:
         return len(self.dataset)
@@ -115,19 +125,34 @@ class Client:
         the billed ``train_seconds`` still price the full backbone — the
         cache accelerates the simulator, not the simulated device.
         """
+        # Fused head-solver plan for head-only rounds: one preallocated
+        # workspace per (head signature, feature shape), cached on this
+        # client and reused across rounds. None → layer-graph path.
+        fast = None
+        if features is not None and getattr(self, "fused_solver", True):
+            from repro.fl.fastpath import client_head_plan
+
+            fast = client_head_plan(self, model, features.shape[1:])
         if features is not None:
-            model.load_state_dict(
-                {k: global_state[k] for k in theta_keys(model)}, strict=False
-            )
+            if fast is None or not fast.load_theta(model, global_state):
+                model.load_state_dict(
+                    {k: global_state[k] for k in theta_keys(model)},
+                    strict=False,
+                )
         else:
             model.load_state_dict(global_state)
         # Selection scores with the *received* global model, eval mode.
         indices = self.selector.select(
             model, self.dataset, self.selection_fraction, self.rng,
-            features=features,
+            features=features, fastpath=fast,
         )
         selected = self.dataset.subset(indices)
-        model.set_partial_train_mode()
+        if fast is None:
+            # Fusible chains contain no mode-dependent layers (that is the
+            # fusibility condition), so the partial-train-mode walk is pure
+            # overhead on the fused path; the closing eval() below leaves
+            # the model in the same state either way.
+            model.set_partial_train_mode()
         reference = (
             {k: global_state[k] for k, p in model.named_parameters() if p.requires_grad}
             if self.solver.prox_mu > 0
@@ -136,10 +161,12 @@ class Client:
         mean_loss = self.solver.run(
             model, selected, self.epochs, self.rng, global_reference=reference,
             features=features[indices] if features is not None else None,
+            fastpath=fast,
         )
         model.eval()
+        theta = fast.theta_snapshot(model) if fast is not None else None
         update = LocalUpdate(
-            theta=theta_state(model),
+            theta=theta if theta is not None else theta_state(model),
             num_selected=len(selected),
             num_local=len(self.dataset),
             mean_loss=mean_loss,

@@ -1,0 +1,249 @@
+"""Fused head-solver runtime: FL-side dispatch for :mod:`repro.nn.fused`.
+
+This module decides *when* the fused kernels run and owns their plan
+lifecycle; the kernels themselves (and the bitwise-identity contract)
+live in :mod:`repro.nn.fused`.
+
+Dispatch rules — the fused path engages only when every one of these
+holds, and silently falls back to the layer graph otherwise:
+
+- the round is head-only (cached ϕ(x) features are present);
+- the client opted in (``Client.fused_solver``, threaded from
+  ``FedFTEDSConfig``/``ExperimentHarness``/``--no-fused-solver``);
+- the trainable head is fusible (:func:`repro.nn.fused.head_ops` — no
+  dropout with ``p > 0``, no BatchNorm, no convolutions in θ);
+- the head's trainable parameters are exactly the model's trainable
+  parameters (a defensive identity check: the fused solver must cover
+  precisely the update the graph solver would apply);
+- with FedProx, the broadcast reference covers every trainable parameter
+  (a missing key falls back so the graph path reports its usual error).
+
+Plan caching: plans are keyed by (head signature, feature trailing shape)
+and cached per *client* in a module-level ``WeakKeyDictionary`` — a client
+is never in flight twice, so its plan is single-threaded by construction;
+the cache dies with the client (worker processes cache clients per
+campaign, so worker plans are campaign-lived too, and a killed worker
+takes its plans with it — they hold no shared state). Evaluation plans for
+the pooled workers are cached by the backend under the template segment's
+name (see :mod:`repro.engine.backends`), mirroring feature-segment keying.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+from repro.nn.fused import FusedHeadPlan, head_ops
+from repro.nn.segmented import SegmentedModel
+
+#: per-client plan caches: client -> {(signature, feature shape): plan}
+#: (a ``None`` value remembers a (signature, shape) pair that failed to
+#: plan, so the fallback decision is made once, not per round)
+_PLANS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_PLANS_LOCK = threading.Lock()
+
+
+class BoundHead:
+    """A fusible head chain bound to one workspace model, plus its plan.
+
+    Thin façade the FL call sites use: selection scores, the local solve
+    and evaluation counts all run through the one plan, so a client round
+    reuses the same workspaces end to end.
+    """
+
+    __slots__ = ("layers", "plan")
+
+    def __init__(self, layers, plan: FusedHeadPlan):
+        self.layers = layers
+        self.plan = plan
+
+    def entropy_scores(
+        self, features: np.ndarray, temperature: float, batch_size: int
+    ) -> np.ndarray:
+        return self.plan.entropy_scores(
+            self.layers, features, temperature, batch_size
+        )
+
+    def train_round(self, features, labels, **kwargs) -> float:
+        return self.plan.train_round(self.layers, features, labels, **kwargs)
+
+    def try_solve(
+        self,
+        model: SegmentedModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+        solver,
+        global_reference: dict[str, np.ndarray] | None,
+    ) -> float | None:
+        """The fused local solve, or None when the graph path must run.
+
+        Eligibility rides the θ map (validated once per plan): a usable
+        map certifies the communicated θ is exactly the plan's trainable
+        parameters, i.e. the fused update covers precisely the update the
+        graph solver would apply. Any trainable-set change reshapes the
+        head signature and therefore lands on a fresh plan, so the
+        per-plan verdict stays sound across rounds. With FedProx, every θ
+        name must resolve in the broadcast reference; a miss falls back so
+        the graph path reports its usual error.
+        """
+        mapping = self._theta_map(model)
+        if mapping is None:
+            return None
+        refs = None
+        if solver.prox_mu > 0:
+            refs = {}
+            layers = self.layers
+            for name, i, attr in mapping:
+                if global_reference is None or name not in global_reference:
+                    return None
+                layer = layers[i]
+                param = layer.weight if attr == "w" else layer.bias
+                refs[id(param)] = global_reference[name]
+        return self.train_round(
+            features,
+            labels,
+            epochs=epochs,
+            batch_size=solver.batch_size,
+            rng=rng,
+            lr=solver.lr,
+            momentum=solver.momentum,
+            weight_decay=solver.weight_decay,
+            prox_mu=solver.prox_mu,
+            refs=refs,
+        )
+
+    def correct_count(self, features, labels, batch_size: int) -> int:
+        return self.plan.correct_count(self.layers, features, labels, batch_size)
+
+    def _theta_map(self, model: SegmentedModel) -> list[tuple] | None:
+        """``(broadcast name, layer index, "w" | "b")`` per θ entry, or None.
+
+        Built once per plan from ``theta_keys(model)``: the map is usable
+        only when the communicated θ is exactly the plan's trainable
+        parameters — no buffers (fusible heads carry none), nothing
+        outside the chain. ``None`` (cached) sends θ loads and snapshots
+        back through the generic state-dict path.
+        """
+        plan = self.plan
+        if plan.theta_map is not None:
+            return plan.theta_map or None
+        from repro.nn.serialization import theta_keys
+
+        params = dict(model.named_parameters())
+        slot_by_id = {
+            id(self.layers[i].weight if attr == "w" else self.layers[i].bias):
+                (i, attr)
+            for i, attr in plan.trainable_slots
+        }
+        mapping: list[tuple] = []
+        for name in theta_keys(model):
+            slot = slot_by_id.pop(id(params.get(name)), None)
+            if slot is None:
+                plan.theta_map = ()  # unusable; remember the verdict
+                return None
+            mapping.append((name, slot[0], slot[1]))
+        if slot_by_id:
+            plan.theta_map = ()
+            return None
+        plan.theta_map = mapping
+        return mapping
+
+    def load_theta(
+        self, model: SegmentedModel, global_state: dict[str, np.ndarray]
+    ) -> bool:
+        """θ-only broadcast load through the plan's slot map.
+
+        Copies each communicated array straight into its bound parameter —
+        the exact writes ``load_state_dict(θ, strict=False)`` performs,
+        without rebuilding the name→parameter maps every round. Returns
+        False (caller falls back to the generic load) when the θ key set
+        is not exactly the fused chain's trainable parameters.
+        """
+        mapping = self._theta_map(model)
+        if mapping is None:
+            return False
+        layers = self.layers
+        for name, i, attr in mapping:
+            layer = layers[i]
+            param = layer.weight if attr == "w" else layer.bias
+            value = global_state[name]
+            if param.data.shape != value.shape:
+                return False
+            param.data[...] = value
+        return True
+
+    def theta_snapshot(
+        self, model: SegmentedModel
+    ) -> dict[str, np.ndarray] | None:
+        """Copy of the communicated θ, bitwise equal to ``theta_state``.
+
+        Same keys in the same order (the map is built from
+        ``theta_keys``); None when the map is unusable.
+        """
+        mapping = self._theta_map(model)
+        if mapping is None:
+            return None
+        layers = self.layers
+        return {
+            name: (layers[i].weight if attr == "w" else layers[i].bias).data.copy()
+            for name, i, attr in mapping
+        }
+
+
+def make_plan(signature: tuple, feature_shape: tuple) -> FusedHeadPlan | None:
+    """A fresh plan for the signature, or None when the shapes cannot feed
+    the chain (the graph path then raises its usual shape error)."""
+    try:
+        return FusedHeadPlan(signature, feature_shape)
+    except ValueError:
+        return None
+
+
+def bind_head(
+    model: SegmentedModel, feature_shape: tuple, cache: dict | None = None
+) -> BoundHead | None:
+    """Bind the model's head if fusible; plans come from ``cache`` if given.
+
+    ``cache`` maps ``(signature, feature_shape)`` to a plan, or to ``None``
+    for a remembered planning failure (a key never tried is simply
+    absent); callers own the cache's lifetime — the worker-side evaluation
+    path keys one per template segment.
+    """
+    layers, signature = head_ops(model)
+    if layers is None:
+        return None
+    key = (signature, tuple(feature_shape))
+    if cache is None:
+        plan = make_plan(signature, feature_shape)
+        return BoundHead(layers, plan) if plan is not None else None
+    plan = cache.get(key, False)
+    if plan is False:
+        plan = make_plan(signature, feature_shape)
+        cache[key] = plan
+    if plan is None:
+        return None
+    return BoundHead(layers, plan)
+
+
+def client_head_plan(
+    client, model: SegmentedModel, feature_shape: tuple
+) -> BoundHead | None:
+    """The client's cached plan for this model's head, created on first use.
+
+    Returns None (→ layer-graph fallback) when the head is not fusible or
+    the client's features cannot feed it. The plan workspace is reused
+    across every subsequent round of the client with the same head shape —
+    the "plan once, run many" property the round benchmark measures.
+    """
+    with _PLANS_LOCK:
+        cache = _PLANS.get(client)
+        if cache is None:
+            cache = {}
+            _PLANS[client] = cache
+    return bind_head(model, feature_shape, cache)
+
+

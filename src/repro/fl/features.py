@@ -42,6 +42,15 @@ of a campaign, while anonymous clients are keyed weakly by object (the
 entry dies with the client). A different pretrained ϕ or a different
 fine-tune level changes the fingerprint and builds a fresh entry — stale
 features can never be consumed.
+
+Fingerprints chain per segment
+(:meth:`~repro.nn.segmented.SegmentedModel.phi_prefix_chain`), so when a
+requested split's fingerprint misses but a shallower split of the same
+frozen weights is cached for the shard, the new features are *derived* by
+running only the segments between the two splits over the cached arrays
+(:func:`derive_features`) instead of re-running ϕ from the raw inputs.
+Cached bytes are bounded by an optional LRU byte budget (see
+:class:`FeatureRuntime` and the campaign pool's ``byte_budget``).
 """
 
 from __future__ import annotations
@@ -77,6 +86,48 @@ def compute_features(
             model.forward_features(x[i : i + batch_size])
             for i in range(0, len(x), batch_size)
         ]
+        return np.concatenate(chunks, axis=0)
+    finally:
+        for module, flag in flags:
+            object.__setattr__(module, "training", flag)
+
+
+def derive_features(
+    model: SegmentedModel,
+    base: np.ndarray,
+    from_split: int,
+    batch_size: int = FEATURE_BUILD_BATCH,
+) -> np.ndarray:
+    """ϕ(x) at the model's current split, derived from a shallower split's
+    cached features instead of the raw inputs (prefix-chain keying).
+
+    ``base`` must be the cached output of this model's first ``from_split``
+    segments over the same samples — i.e. its fingerprint matches element
+    ``from_split - 1`` of :meth:`~repro.nn.segmented.SegmentedModel.
+    phi_prefix_chain`. Only the segments ``[from_split, split)`` run, in
+    eval mode, chunked like :func:`compute_features`; by the
+    row-determinism invariant the result is bitwise identical to a full
+    rebuild from the raw inputs. (Derivation only works in this
+    direction — a deeper prefix from a shallower one; a forward pass
+    cannot be inverted.)
+    """
+    to_split = model.frozen_split_index()
+    if not 0 < from_split < to_split:
+        raise ValueError(
+            f"cannot derive split {to_split} features from split {from_split}"
+        )
+    if len(base) == 0:
+        raise ValueError("cannot derive features from an empty base")
+    segments = model.segments()[from_split:to_split]
+    flags = [(module, module.training) for _, module in model.named_modules()]
+    model.eval()
+    try:
+        chunks = []
+        for i in range(0, len(base), batch_size):
+            x = base[i : i + batch_size]
+            for _, segment in segments:
+                x = segment(x)
+            chunks.append(x)
         return np.concatenate(chunks, axis=0)
     finally:
         for module, flag in flags:
@@ -138,15 +189,44 @@ class FeatureRuntime:
     segments instead. One runtime per campaign gives cross-run reuse for
     clients that carry a stable ``shard_key``; anonymous clients get
     per-object entries that are garbage-collected with the client.
+
+    Prefix-chain keying: when a requested fingerprint misses but a cached
+    entry for the same shard matches a *prefix* of the model's fingerprint
+    chain (same frozen weights, shallower split — e.g. a campaign mixing
+    ``moderate`` and ``classifier`` fine-tune levels over one pretrained
+    backbone), the new features are derived by running only the segments
+    between the two splits over the cached arrays
+    (:func:`derive_features`) instead of re-running ϕ from the raw inputs.
+
+    Spill policy: ``byte_budget`` bounds the keyed cache's resident bytes;
+    exceeding it evicts least-recently-used entries (the publish/evict
+    counters land in ``stats``, ``eval_stats``-style). Anonymous entries
+    are outside the budget — they are weakly held and die with their
+    client.
     """
 
-    def __init__(self, batch_size: int = FEATURE_BUILD_BATCH):
+    def __init__(
+        self,
+        batch_size: int = FEATURE_BUILD_BATCH,
+        byte_budget: int | None = None,
+    ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive when set")
         self.batch_size = batch_size
+        self.byte_budget = byte_budget
+        # Insertion order doubles as recency order (entries are re-inserted
+        # on every hit), so the first key is always the LRU victim.
         self._keyed: dict[tuple, np.ndarray] = {}
         self._anonymous: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-        self.stats = {"builds": 0, "hits": 0}
+        self.stats = {
+            "builds": 0,
+            "hits": 0,
+            "derived": 0,
+            "evictions": 0,
+            "bytes": 0,
+        }
 
     def __len__(self) -> int:
         return len(self._keyed) + sum(len(v) for v in self._anonymous.values())
@@ -155,6 +235,63 @@ class FeatureRuntime:
         self.stats["builds"] += 1
         return compute_features(model, x, self.batch_size)
 
+    def derive(
+        self, model: SegmentedModel, base: np.ndarray, from_split: int
+    ) -> np.ndarray:
+        """Prefix-chain derivation (counted separately from full builds)."""
+        self.stats["derived"] += 1
+        return derive_features(model, base, from_split, self.batch_size)
+
+    def materialise(
+        self,
+        model: SegmentedModel,
+        chain: list[str],
+        lookup,
+        x_factory,
+    ) -> np.ndarray:
+        """Build features at ``chain``'s split, deriving from the deepest
+        cached prefix entry when one exists.
+
+        ``lookup(fingerprint)`` probes the caller's cache directly — one
+        O(1) probe per chain element, never a scan over unrelated shards'
+        entries. This is the single authoritative derivation-precedence
+        rule; the in-process cache and the process backend's segment
+        publisher both route through it.
+        """
+        for split in range(len(chain) - 1, 0, -1):
+            base = lookup(chain[split - 1])
+            if base is not None:
+                return self.derive(model, base, split)
+        return self.build(model, x_factory())
+
+    def _touch(self, key: tuple) -> None:
+        self._keyed[key] = self._keyed.pop(key)
+
+    def _insert_keyed(self, key: tuple, features: np.ndarray) -> None:
+        self._keyed[key] = features
+        self.stats["bytes"] += features.nbytes
+        if self.byte_budget is not None:
+            self.trim(self.byte_budget, protect=key)
+
+    def trim(self, byte_budget: int = 0, protect: tuple | None = None) -> int:
+        """Evict LRU keyed entries until at most ``byte_budget`` bytes stay.
+
+        ``protect`` (the entry just inserted) is never evicted, so one
+        oversized shard cannot thrash itself out of its own round. Returns
+        the number of entries evicted.
+        """
+        evicted = 0
+        while self.stats["bytes"] > byte_budget:
+            victim = next(
+                (k for k in self._keyed if k != protect), None
+            )
+            if victim is None:
+                break
+            self.stats["bytes"] -= self._keyed.pop(victim).nbytes
+            self.stats["evictions"] += 1
+            evicted += 1
+        return evicted
+
     def features_for(self, client, model: SegmentedModel) -> np.ndarray | None:
         """Cached ϕ(shard) for ``client`` under ``model``'s frozen prefix.
 
@@ -162,31 +299,49 @@ class FeatureRuntime:
         cache) or the client opts out (``supports_feature_cache`` False —
         e.g. tiered clients that re-freeze the model per round).
 
-        The fingerprint is deliberately recomputed per call rather than
-        memoized per model: the O(|ϕ|) hash *is* the invalidation
+        The fingerprint chain is deliberately recomputed per call rather
+        than memoized per model: the O(|ϕ|) hash *is* the invalidation
         mechanism (a mutated ϕ must never be served stale features), and
         it is orders of magnitude cheaper than the O(n·FLOPs) forward it
         replaces — the benchmark's speedup already includes this tax.
         """
         if not getattr(client, "supports_feature_cache", True):
             return None
-        fingerprint = model.phi_fingerprint()
-        if fingerprint is None:
+        chain = model.phi_prefix_chain()
+        if not chain:
             return None
+        fingerprint = chain[-1]
         shard_key = getattr(client, "shard_key", None)
         if shard_key is not None:
-            key = (tuple(shard_key), fingerprint)
+            shard_key = tuple(shard_key)
+            key = (shard_key, fingerprint)
             features = self._keyed.get(key)
             if features is None:
-                features = self.build(model, client.dataset.arrays()[0])
-                self._keyed[key] = features
+
+                def keyed_base(prefix_fp: str) -> np.ndarray | None:
+                    base_key = (shard_key, prefix_fp)
+                    base = self._keyed.get(base_key)
+                    if base is not None:
+                        # a derivation read is a use: keep the base warm
+                        self._touch(base_key)
+                    return base
+
+                features = self.materialise(
+                    model, chain, keyed_base,
+                    lambda: client.dataset.arrays()[0],
+                )
+                self._insert_keyed(key, features)
             else:
                 self.stats["hits"] += 1
+                self._touch(key)
             return features
         per_client = self._anonymous.setdefault(client, {})
         features = per_client.get(fingerprint)
         if features is None:
-            features = self.build(model, client.dataset.arrays()[0])
+            features = self.materialise(
+                model, chain, per_client.get,
+                lambda: client.dataset.arrays()[0],
+            )
             per_client[fingerprint] = features
         else:
             self.stats["hits"] += 1
@@ -196,3 +351,4 @@ class FeatureRuntime:
         """Drop every cached array (the campaign is over)."""
         self._keyed = {}
         self._anonymous = weakref.WeakKeyDictionary()
+        self.stats["bytes"] = 0

@@ -47,6 +47,12 @@ class DataSelector:
     forward pass consume it through the model's head instead of re-running
     the frozen backbone, bitwise-identically. Selectors that never look at
     the model ignore it.
+
+    ``fastpath`` (a :class:`~repro.fl.fastpath.BoundHead`, only ever given
+    together with ``features``) additionally routes the scoring forward
+    through the fused head plan — chunk logits and entropies land in
+    plan-owned buffers instead of fresh per-chunk arrays, bitwise
+    identically (see :mod:`repro.nn.fused`).
     """
 
     #: display name used in reports
@@ -62,6 +68,7 @@ class DataSelector:
         fraction: float,
         rng: np.random.Generator,
         features: np.ndarray | None = None,
+        fastpath=None,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -72,7 +79,8 @@ class FullSelector(DataSelector):
     name = "all"
     requires_forward = False
 
-    def select(self, model, dataset, fraction, rng, features=None):
+    def select(self, model, dataset, fraction, rng, features=None,
+               fastpath=None):
         if fraction != 1.0:
             raise ValueError("FullSelector only supports fraction=1.0")
         return np.arange(len(dataset))
@@ -84,7 +92,8 @@ class RandomSelector(DataSelector):
     name = "rds"
     requires_forward = False
 
-    def select(self, model, dataset, fraction, rng, features=None):
+    def select(self, model, dataset, fraction, rng, features=None,
+               fastpath=None):
         n = len(dataset)
         k = selected_count(n, fraction)
         return np.sort(rng.choice(n, size=k, replace=False))
@@ -112,8 +121,17 @@ class EntropySelector(DataSelector):
         model: Module,
         dataset: Dataset,
         features: np.ndarray | None = None,
+        fastpath=None,
     ) -> np.ndarray:
         """Per-sample entropy under the hardened softmax (higher = selected)."""
+        if features is not None and fastpath is not None:
+            # Fused plan: chunk logits and entropies go into plan-owned
+            # buffers (same chunking, same reduction order — bitwise
+            # identical; see repro.nn.fused). The returned buffer is only
+            # read below, never retained.
+            return fastpath.entropy_scores(
+                features, self.temperature, self.batch_size
+            )
         if features is not None:
             # Cached ϕ(x): only the head runs. Same chunking as the raw
             # path, so the logits — and the selected set — are bitwise
@@ -126,10 +144,11 @@ class EntropySelector(DataSelector):
             logits = batched_logits(model, x, self.batch_size)
         return F.entropy_from_logits(logits, self.temperature)
 
-    def select(self, model, dataset, fraction, rng, features=None):
+    def select(self, model, dataset, fraction, rng, features=None,
+               fastpath=None):
         n = len(dataset)
         k = selected_count(n, fraction)
-        entropy = self.scores(model, dataset, features)
+        entropy = self.scores(model, dataset, features, fastpath)
         # Highest-entropy samples are the "harder but more valuable" ones.
         top = np.argpartition(entropy, n - k)[n - k :]
         return np.sort(top)

@@ -57,6 +57,7 @@ class LocalSolver:
         rng: np.random.Generator,
         global_reference: dict[str, np.ndarray] | None = None,
         features: np.ndarray | None = None,
+        fastpath=None,
     ) -> float:
         """Train ``model`` in place for ``epochs`` epochs; returns mean loss.
 
@@ -69,11 +70,34 @@ class LocalSolver:
         loader draws identical permutations from ``rng`` and the head sees
         identical minibatch bytes, so the θ trajectory is bitwise identical
         to the full-forward path (see :mod:`repro.fl.features`).
+
+        ``fastpath`` (a :class:`~repro.fl.fastpath.BoundHead`) runs the
+        head-only solve through the fused kernel plan instead of the layer
+        graph — preplanned epoch permutations, zero-allocation
+        forward/backward/SGD — bitwise identical by the contract of
+        :mod:`repro.nn.fused`. It falls back to the graph below whenever
+        the plan does not cover exactly this solve (e.g. a FedProx
+        reference key is missing).
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         if self.prox_mu > 0 and global_reference is None:
             raise ValueError("FedProx (prox_mu > 0) needs the global reference")
+        if features is not None and fastpath is not None:
+            if len(features) != len(dataset):
+                raise ValueError(
+                    f"features ({len(features)}) and dataset ({len(dataset)}) "
+                    f"disagree"
+                )
+            # A fusible plan implies a non-empty trainable set (head_ops
+            # rejects headless chains), so the fused solve skips the
+            # trainable-list walk entirely; None → graph fallback below.
+            mean = fastpath.try_solve(
+                model, features, dataset.labels, epochs, rng, self,
+                global_reference,
+            )
+            if mean is not None:
+                return mean
         trainable = [
             (name, p) for name, p in model.named_parameters() if p.requires_grad
         ]

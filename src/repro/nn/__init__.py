@@ -15,7 +15,8 @@ Public surface:
 - Models: :class:`MLP`, :class:`SmallConvNet`, :class:`WideResNet`.
 - Training: :class:`CrossEntropyLoss`, :class:`SGD`, LR schedules.
 - Utilities: ``functional`` (softmax/entropy), ``profiling`` (FLOPs),
-  ``serialization`` (state dicts), ``gradcheck`` (numerical gradients).
+  ``serialization`` (state dicts), ``gradcheck`` (numerical gradients),
+  ``fused`` (zero-allocation head-solver kernels over cached features).
 """
 
 from repro.nn.module import Module, Parameter, Sequential
@@ -30,8 +31,9 @@ from repro.nn.residual import BasicBlock
 from repro.nn.mlp import MLP
 from repro.nn.cnn import SmallConvNet
 from repro.nn.wrn import WideResNet
-from repro.nn.losses import CrossEntropyLoss
+from repro.nn.losses import CrossEntropyLoss, FusedCrossEntropy
 from repro.nn.optim import SGD, ConstantLR, CosineLR, StepLR
+from repro.nn.fused import FusedHeadPlan, head_ops
 
 __all__ = [
     "Module",
@@ -54,6 +56,9 @@ __all__ = [
     "SmallConvNet",
     "WideResNet",
     "CrossEntropyLoss",
+    "FusedCrossEntropy",
+    "FusedHeadPlan",
+    "head_ops",
     "SGD",
     "ConstantLR",
     "CosineLR",

@@ -1,0 +1,583 @@
+"""Fused head-solver kernels: plan-ahead local SGD over cached features.
+
+With the frozen-feature cache (:mod:`repro.fl.features`) every hot path is
+head-only, so the simulator's remaining cost is not FLOPs but Python: each
+local SGD step walks the layer graph (``forward_head`` → per-layer
+``backward`` → ``zero_grad`` → ``SGD.step``), allocating fresh temporaries
+for logits, softmax, gradients, weight-decay and momentum updates on every
+tiny minibatch. This module collapses that interpreter overhead: a
+:class:`FusedHeadPlan` owns one preallocated workspace per batch row count
+— with the kernel sequence compiled to a flat program of buffer tuples at
+workspace creation — and executes forward, cross-entropy backward, FedProx
+pull, weight decay, momentum and the SGD update with no per-step
+allocation, no module-tree traversal and no generic dispatch.
+
+Bitwise-identity contract
+-------------------------
+The fused path must be indistinguishable from the layer-graph path — same
+EventLog, same accuracies, same θ trajectory. That holds because every
+kernel replays the graph's exact operation sequence:
+
+- ``Linear`` forwards go through the same fixed 32-row gemm tiling
+  (:func:`~repro.nn.linear.row_canonical_matmul_into`); backward matmuls
+  (``xᵀ·g``, ``g·Wᵀ``) use the same plain BLAS calls, and gradient
+  accumulators are zero-filled then added to (matching ``grad += …`` on a
+  zeroed ``Parameter.grad`` — including the ``0 + (−0)`` sign edge).
+- ``ReLU`` uses zero-fill + masked copy, bitwise equal to
+  ``np.where(mask, x, 0.0)``; pooling means/backward divisions reduce in
+  the same order as the module implementations (``ndarray`` method
+  reductions are the same pairwise kernels the free functions call).
+- The loss replays :class:`~repro.nn.losses.CrossEntropyLoss` operation
+  for operation (:class:`~repro.nn.losses.FusedCrossEntropy`).
+- The optimiser update replays ``SGD.step`` per parameter: weight decay as
+  ``g + wd·p``, in-place momentum ``v = m·v + g``, then ``p −= lr·v``; the
+  FedProx pull ``g += μ·(p − p_global)`` precedes it exactly as in
+  :class:`~repro.fl.strategies.LocalSolver`. Parameters are disjoint
+  arrays, so per-parameter fusion of pull + step is order-equivalent to
+  the graph's two passes.
+- Epoch permutations are drawn from the client RNG with draws identical
+  to ``DataLoader``'s (one ``rng.permutation(n)`` per epoch, in epoch
+  order, nothing in between), so the RNG stream advances identically and
+  every minibatch holds the same rows.
+
+Fusibility
+----------
+A head is fusible when the trainable part θ flattens to a chain of
+``Linear`` / ``ReLU`` / ``Flatten`` / ``GlobalAvgPool2d`` (plus
+``Dropout(p=0)``, an RNG-free identity). Anything else — dropout with
+``p > 0`` (consumes RNG in train mode), BatchNorm (mode- and
+batch-dependent), convolutions, residual blocks — makes
+:func:`head_ops` return ``None`` and callers fall back to the layer
+graph, which remains the semantic reference.
+
+Plans hold no model references: :func:`head_ops` re-extracts (and
+re-validates) the layer chain per call, and every plan method takes the
+bound ``layers``, so one plan serves any workspace model whose head
+matches the plan's signature (server model, thread replicas, worker
+replicas alike).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten
+from repro.nn.linear import _TILE, Linear, row_canonical_matmul_into
+from repro.nn.losses import FusedCrossEntropy
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import GlobalAvgPool2d
+from repro.nn.segmented import SegmentedModel
+
+
+def _leaves(module: Module) -> list[Module] | None:
+    """Flatten a θ segment into supported leaf layers; None if unfusible."""
+    if isinstance(module, Sequential):
+        leaves: list[Module] = []
+        for layer in module.layers:
+            sub = _leaves(layer)
+            if sub is None:
+                return None
+            leaves.extend(sub)
+        return leaves
+    if isinstance(module, (Linear, ReLU, Flatten, GlobalAvgPool2d)):
+        return [module]
+    if isinstance(module, Dropout) and module.p == 0.0:
+        return []  # identity in both modes, consumes no RNG
+    return None
+
+
+def head_ops(
+    model: SegmentedModel,
+) -> tuple[list[Module], tuple] | tuple[None, None]:
+    """``(layers, signature)`` of a fusible trainable head, else ``(None, None)``.
+
+    ``layers`` is the flattened leaf chain of the θ segments in forward
+    order; ``signature`` is a hashable description (kinds, shapes, bias
+    presence, ``requires_grad`` flags) that keys plan workspaces — any
+    change to the head's structure or trainable set yields a different
+    signature and therefore a fresh plan.
+    """
+    split = model.frozen_split_index()
+    if split == 0:
+        return None, None
+    layers: list[Module] = []
+    for _, segment in model.segments()[split:]:
+        sub = _leaves(segment)
+        if sub is None:
+            return None, None
+        layers.extend(sub)
+    signature: list[tuple] = []
+    trainable = False
+    for layer in layers:
+        if isinstance(layer, Linear):
+            w_grad = layer.weight.requires_grad
+            b_grad = layer.bias is not None and layer.bias.requires_grad
+            signature.append(
+                (
+                    "linear",
+                    layer.in_features,
+                    layer.out_features,
+                    layer.bias is not None,
+                    w_grad,
+                    b_grad,
+                )
+            )
+            trainable = trainable or w_grad or b_grad
+        elif isinstance(layer, ReLU):
+            signature.append(("relu",))
+        elif isinstance(layer, Flatten):
+            signature.append(("flatten",))
+        else:
+            signature.append(("gap",))
+    if not trainable:
+        return None, None  # nothing to solve for; let the graph path raise
+    return layers, tuple(signature)
+
+
+class FusedHeadPlan:
+    """Preallocated workspaces + kernel schedule for one head signature.
+
+    One plan is created per (head signature, feature trailing shape) and
+    reused across rounds; per-row-count workspaces (the full minibatch, a
+    remainder minibatch, selection chunks, evaluation batches) materialise
+    lazily on first use and are reused for the plan's lifetime, so the
+    steady-state step loop allocates nothing. Each workspace carries its
+    kernel sequence pre-compiled into flat forward/backward programs of
+    ``(kind, layer index, *buffers)`` tuples — the execution loops touch
+    no dicts and make no planning decisions.
+
+    A plan is single-threaded by construction: it is cached per client
+    (clients are never concurrently in flight) or per worker process.
+    """
+
+    def __init__(self, signature: tuple, feature_shape: tuple):
+        self.signature = signature
+        self.feature_shape = tuple(int(d) for d in feature_shape)
+        shapes: list[tuple[tuple, tuple]] = []  # per layer: trailing in/out
+        current = self.feature_shape
+        for op in signature:
+            kind = op[0]
+            if kind == "linear":
+                if current != (op[1],):
+                    raise ValueError(
+                        f"features of trailing shape {current} cannot feed "
+                        f"Linear({op[1]}, {op[2]})"
+                    )
+                nxt = (op[2],)
+            elif kind == "flatten":
+                nxt = (int(np.prod(current)),)
+            elif kind == "gap":
+                if len(current) != 3:
+                    raise ValueError(
+                        f"GlobalAvgPool2d needs (c, h, w) features, got {current}"
+                    )
+                nxt = (current[0],)
+            else:  # relu
+                nxt = current
+            shapes.append((current, nxt))
+            current = nxt
+        if len(current) != 1:
+            raise ValueError(f"head output is not a logits vector: {current}")
+        self.num_classes = current[0]
+        self._shapes = shapes
+        self._lowest = next(
+            (
+                i
+                for i, op in enumerate(signature)
+                if op[0] == "linear" and (op[4] or op[5])
+            ),
+            None,
+        )
+        if self._lowest is None:
+            # head_ops never emits such a signature, but the class is
+            # public: fail with the documented exception type.
+            raise ValueError("signature has no trainable Linear to solve for")
+        #: (layer index, "w" | "b") of every parameter the solver updates,
+        #: in the same order ``LocalSolver``'s trainable list visits them
+        self.trainable_slots: list[tuple[int, str]] = []
+        self._param_ws: dict[int, dict[str, np.ndarray]] = {}
+        #: flat update program: (layer idx, "w"|"b", acc, t1, velocity)
+        self._step_prog: list[tuple] = []
+        slots = [
+            (i, attr, shape)
+            for i, op in enumerate(signature)
+            if op[0] == "linear"
+            for attr, shape, enabled in (
+                ("w", (op[1], op[2]), op[4]),
+                ("b", (op[2],), op[5]),
+            )
+            if enabled
+        ]
+        # All per-parameter update state lives as contiguous views into
+        # four flat arrays, so the elementwise update math (zero-fill,
+        # gradient accumulate, momentum, LR scale) runs as ONE ufunc call
+        # over the concatenation instead of one per parameter — bitwise
+        # identical per element, a fraction of the dispatch cost.
+        total = sum(int(np.prod(shape)) for _, _, shape in slots)
+        self._acc_flat = np.empty(total)
+        self._tmp_flat = np.empty(total)
+        self._t1_flat = np.empty(total)
+        self._vel_flat = np.zeros(total)
+        offset = 0
+        for i, attr, shape in slots:
+            size = int(np.prod(shape))
+            ws = self._param_ws.setdefault(i, {})
+            for base, name in (
+                (self._acc_flat, "_acc"),
+                (self._tmp_flat, "_tmp"),
+                (self._t1_flat, "_t1"),
+                (self._vel_flat, "_vel"),
+            ):
+                ws[attr + name] = base[offset : offset + size].reshape(shape)
+            offset += size
+            self.trainable_slots.append((i, attr))
+            self._step_prog.append(
+                (i, attr, ws[attr + "_acc"], ws[attr + "_t1"], ws[attr + "_vel"])
+            )
+        #: set lazily by the fastpath layer: θ broadcast name per slot
+        self.theta_map = None
+        self._row_ws: dict[int, dict] = {}
+        self._score_ws: dict[int, dict[str, np.ndarray]] = {}
+        self._loss_hist: dict[int, np.ndarray] = {}
+
+    # -- workspaces ----------------------------------------------------------
+    def _ws(self, rows: int) -> dict:
+        """The workspace (buffers + compiled programs) for one row count."""
+        ws = self._row_ws.get(rows)
+        if ws is not None:
+            return ws
+        fprog: list[tuple] = []
+        for i, (op, (in_shape, out_shape)) in enumerate(
+            zip(self.signature, self._shapes)
+        ):
+            kind = op[0]
+            if kind == "linear":
+                out = np.empty((rows,) + out_shape)
+                if rows % _TILE:
+                    pad_in = np.zeros((_TILE,) + in_shape)
+                    pad_out = np.empty((_TILE,) + out_shape)
+                else:
+                    pad_in = pad_out = None
+                fprog.append(("lin", i, out, pad_in, pad_out, op[3]))
+            elif kind == "relu":
+                mask = np.empty((rows,) + in_shape, dtype=bool)
+                fprog.append(("relu", i, mask, np.empty((rows,) + out_shape)))
+            elif kind == "flatten":
+                fprog.append(("flat", i))
+            else:  # gap
+                fprog.append(("gap", i, np.empty((rows,) + out_shape)))
+        # Training-only pieces (backward program, gather buffers, loss
+        # workspace) attach lazily in _train_ws: forward-only consumers —
+        # selection chunks, evaluation batches — never pay for gradient
+        # or loss buffers.
+        ws = {
+            "x": None,
+            "y": None,
+            "inputs": [None] * len(self.signature),
+            "fprog": fprog,
+            "bprog": None,
+            "loss": None,
+        }
+        self._row_ws[rows] = ws
+        return ws
+
+    def _train_ws(self, rows: int) -> dict:
+        ws = self._ws(rows)
+        if ws["loss"] is not None:
+            return ws
+        bprog: list[tuple] = []
+        for step in ws["fprog"]:
+            kind, i = step[0], step[1]
+            in_shape, _ = self._shapes[i]
+            op = self.signature[i]
+            if kind == "lin":
+                if i >= self._lowest:
+                    gin = (
+                        np.empty((rows,) + in_shape) if i > self._lowest else None
+                    )
+                    bprog.append(
+                        ("lin", i, self._param_ws.get(i), gin, op[4], op[5])
+                    )
+            elif kind == "relu":
+                if i > self._lowest:
+                    bprog.append(
+                        ("relu", i, step[2], np.empty((rows,) + in_shape))
+                    )
+            elif kind == "flat":
+                if i > self._lowest:
+                    bprog.append(("flat", i, (rows,) + in_shape))
+            else:  # gap
+                if i > self._lowest:
+                    bprog.append(
+                        (
+                            "gap",
+                            i,
+                            in_shape[1] * in_shape[2],
+                            np.empty((rows,) + self._shapes[i][1]),
+                            np.empty((rows,) + in_shape),
+                        )
+                    )
+        bprog.reverse()
+        ws["bprog"] = bprog
+        ws["x"] = np.empty((rows,) + self.feature_shape)
+        ws["y"] = np.empty(rows, dtype=np.int64)
+        ws["loss"] = FusedCrossEntropy(rows, self.num_classes)
+        return ws
+
+    def _scores(self, n: int) -> dict[str, np.ndarray]:
+        sws = self._score_ws.get(n)
+        if sws is None:
+            c = self.num_classes
+            sws = {
+                "logits": np.empty((n, c)),
+                "z": np.empty((n, c)),
+                "p": np.empty((n, c)),
+                "tmp": np.empty((n, c)),
+                "m": np.empty((n, 1)),
+                "s": np.empty((n, 1)),
+                "entropy": np.empty(n),
+            }
+            self._score_ws[n] = sws
+        return sws
+
+    def _losses(self, count: int) -> np.ndarray:
+        buf = self._loss_hist.get(count)
+        if buf is None:
+            buf = np.empty(count)
+            self._loss_hist[count] = buf
+        return buf
+
+    def _release_inputs(self) -> None:
+        """Drop the per-layer input references the last forward pinned.
+
+        ``forward`` stores the caller's chunk (often a view of the cached
+        ϕ(x) array) in the workspace for backward; a plan outlives rounds,
+        so without this a client's plan would keep an evicted feature
+        array resident — defeating the byte-budget spill policy exactly
+        when memory pressure triggered it.
+        """
+        for ws in self._row_ws.values():
+            inputs = ws["inputs"]
+            for i in range(len(inputs)):
+                inputs[i] = None
+
+    # -- kernels -------------------------------------------------------------
+    def forward(self, layers: list[Module], ws: dict, x: np.ndarray) -> np.ndarray:
+        """Head forward for one minibatch; returns the plan's logits buffer."""
+        inputs = ws["inputs"]
+        current = x
+        for step in ws["fprog"]:
+            kind = step[0]
+            inputs[step[1]] = current
+            if kind == "lin":
+                _, i, out, pad_in, pad_out, has_bias = step
+                layer = layers[i]
+                row_canonical_matmul_into(
+                    current, layer.weight.data, out, pad_in, pad_out
+                )
+                if has_bias:
+                    np.add(out, layer.bias.data, out=out)
+                current = out
+            elif kind == "relu":
+                _, _, mask, out = step
+                np.greater(current, 0.0, out=mask)
+                out[...] = 0.0
+                np.copyto(out, current, where=mask)
+                current = out
+            elif kind == "flat":
+                current = current.reshape(current.shape[0], -1)
+            else:  # gap
+                out = step[2]
+                current.mean(axis=(2, 3), out=out)
+                current = out
+        return current
+
+    def _backward(self, layers: list[Module], ws: dict, grad: np.ndarray) -> None:
+        """Backward pass writing raw per-parameter gradients into the flat
+        ``_tmp`` views; accumulation happens once, flat, in :meth:`_step`."""
+        inputs = ws["inputs"]
+        for step in ws["bprog"]:
+            kind = step[0]
+            if kind == "lin":
+                _, i, pws, gin, w_grad, b_grad = step
+                layer = layers[i]
+                if w_grad:
+                    np.matmul(inputs[i].T, grad, out=pws["w_tmp"])
+                if b_grad:
+                    grad.sum(axis=0, out=pws["b_tmp"])
+                if gin is not None:
+                    np.matmul(grad, layer.weight.data.T, out=gin)
+                    grad = gin
+            elif kind == "relu":
+                _, _, mask, gin = step
+                gin[...] = 0.0
+                np.copyto(gin, grad, where=mask)
+                grad = gin
+            elif kind == "flat":
+                grad = grad.reshape(step[2])
+            else:  # gap
+                _, _, denominator, gdiv, gin = step
+                np.divide(grad, denominator, out=gdiv)
+                gin[...] = gdiv[:, :, None, None]
+                grad = gin
+
+    def _step(
+        self,
+        layers: list[Module],
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        prox_mu: float,
+        refs: dict[int, np.ndarray] | None,
+    ) -> None:
+        # grad = 0 + raw gradient, flat — element for element the same as
+        # zeroed ``Parameter.grad`` receiving ``+=`` per parameter (the
+        # 0 + (−0) sign edge included).
+        acc = self._acc_flat
+        acc[...] = 0.0
+        np.add(acc, self._tmp_flat, out=acc)
+        if prox_mu > 0 or weight_decay:
+            # FedProx / weight decay read ``p.data``, which lives outside
+            # the flat workspace: per-parameter kernels, as the graph does.
+            for i, attr, p_acc, t1, velocity in self._step_prog:
+                layer = layers[i]
+                param = layer.weight if attr == "w" else layer.bias
+                data = param.data
+                grad = p_acc
+                if prox_mu > 0:
+                    np.subtract(data, refs[id(param)], out=t1)
+                    np.multiply(t1, prox_mu, out=t1)
+                    np.add(grad, t1, out=grad)
+                if weight_decay:
+                    np.multiply(data, weight_decay, out=t1)
+                    np.add(grad, t1, out=t1)
+                    grad = t1
+                if momentum:
+                    np.multiply(velocity, momentum, out=velocity)
+                    np.add(velocity, grad, out=velocity)
+                    update = velocity
+                else:
+                    update = grad
+                np.multiply(update, lr, out=t1)
+                np.subtract(data, t1, out=data)
+            return
+        # Plain SGD(+momentum): the whole update is elementwise, so it runs
+        # on the flat concatenation — only the final in-place parameter
+        # writes go per parameter.
+        if momentum:
+            velocity = self._vel_flat
+            np.multiply(velocity, momentum, out=velocity)
+            np.add(velocity, acc, out=velocity)
+            np.multiply(velocity, lr, out=self._t1_flat)
+        else:
+            np.multiply(acc, lr, out=self._t1_flat)
+        for i, attr, _p_acc, t1, _velocity in self._step_prog:
+            layer = layers[i]
+            param = layer.weight if attr == "w" else layer.bias
+            np.subtract(param.data, t1, out=param.data)
+
+    # -- entry points --------------------------------------------------------
+    def train_round(
+        self,
+        layers: list[Module],
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        prox_mu: float = 0.0,
+        refs: dict[int, np.ndarray] | None = None,
+    ) -> float:
+        """Run the whole local solve in place; returns the mean step loss.
+
+        Consumes exactly one ``rng.permutation(n)`` per epoch — the same
+        draws, in the same order, as ``DataLoader(shuffle=True)`` — and
+        updates the bound layers' parameters through the fused kernels.
+        """
+        n = len(features)
+        if n and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+        self._vel_flat[...] = 0.0  # fresh velocity, like a per-round SGD
+        steps_per_epoch = -(-n // batch_size)
+        losses = self._losses(epochs * steps_per_epoch)
+        row_ws = self._train_ws
+        step = 0
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                ws = row_ws(len(idx))
+                x = ws["x"]
+                features.take(idx, axis=0, out=x)
+                labels.take(idx, axis=0, out=ws["y"])
+                logits = self.forward(layers, ws, x)
+                loss = ws["loss"]
+                losses[step] = loss.forward(logits, ws["y"])
+                step += 1
+                self._backward(layers, ws, loss.backward())
+                self._step(layers, lr, momentum, weight_decay, prox_mu, refs)
+        self._release_inputs()
+        return float(np.mean(losses))
+
+    def entropy_scores(
+        self,
+        layers: list[Module],
+        features: np.ndarray,
+        temperature: float,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Hardened-softmax entropy per sample, into plan-owned buffers.
+
+        Chunked exactly like :func:`repro.fl.features.batched_head_logits`
+        (chunk logits land in one ``(n, c)`` buffer — a concatenation by
+        construction), then the entropy replays
+        :func:`repro.nn.functional.entropy_from_logits` with ``out=``
+        kernels. The returned array is plan-owned and valid until the next
+        plan call.
+        """
+        n = len(features)
+        sws = self._scores(n)
+        logits = sws["logits"]
+        for start in range(0, n, batch_size):
+            chunk = features[start : start + batch_size]
+            ws = self._ws(len(chunk))
+            logits[start : start + len(chunk)] = self.forward(layers, ws, chunk)
+        self._release_inputs()
+        z, p = sws["z"], sws["p"]
+        np.divide(logits, temperature, out=z)
+        z.max(axis=-1, keepdims=True, out=sws["m"])
+        np.subtract(z, sws["m"], out=z)
+        np.exp(z, out=p)
+        p.sum(axis=-1, keepdims=True, out=sws["s"])
+        np.log(sws["s"], out=sws["s"])
+        np.subtract(z, sws["s"], out=z)  # z is now logp
+        np.exp(z, out=p)
+        np.multiply(p, z, out=sws["tmp"])
+        sws["tmp"].sum(axis=-1, out=sws["entropy"])
+        np.negative(sws["entropy"], out=sws["entropy"])
+        return sws["entropy"]
+
+    def correct_count(
+        self,
+        layers: list[Module],
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+    ) -> int:
+        """Exact top-1 correct count over batch-aligned evaluation chunks."""
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            chunk = features[start : start + batch_size]
+            ws = self._ws(len(chunk))
+            preds = np.argmax(self.forward(layers, ws, chunk), axis=-1)
+            correct += int(
+                np.count_nonzero(preds == labels[start : start + batch_size])
+            )
+        self._release_inputs()
+        return correct

@@ -28,15 +28,43 @@ def row_canonical_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
     n = x.shape[0]
     if n == 0:
         return x @ weight  # empty batch: shape-only, nothing to canonicalise
-    full = (n // _TILE) * _TILE
     out = np.empty((n, weight.shape[1]), dtype=np.result_type(x, weight))
+    row_canonical_matmul_into(x, weight, out)
+    return out
+
+
+def row_canonical_matmul_into(
+    x: np.ndarray,
+    weight: np.ndarray,
+    out: np.ndarray,
+    pad_in: np.ndarray | None = None,
+    pad_out: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`row_canonical_matmul` into a caller-owned destination.
+
+    Identical tiling (and therefore identical bits) to the allocating
+    version; the fused head solver (:mod:`repro.nn.fused`) passes
+    preallocated ``pad_in``/``pad_out`` ``(_TILE, k)``/``(_TILE, m)``
+    scratch tiles so the remainder path allocates nothing either.
+    ``pad_in`` rows at and beyond the remainder must be zero on entry;
+    the kernel only ever writes the first ``remainder`` rows, so a
+    zero-initialised scratch tile stays valid across calls whose
+    remainder is fixed (one workspace per batch row count).
+    """
+    n = x.shape[0]
+    full = (n // _TILE) * _TILE
     for i in range(0, full, _TILE):
         np.matmul(x[i : i + _TILE], weight, out=out[i : i + _TILE])
     remainder = n - full
     if remainder:
-        padded = np.zeros((_TILE, x.shape[1]), dtype=x.dtype)
-        padded[:remainder] = x[full:]
-        out[full:] = (padded @ weight)[:remainder]
+        if pad_in is None:
+            pad_in = np.zeros((_TILE, x.shape[1]), dtype=x.dtype)
+        pad_in[:remainder] = x[full:]
+        if pad_out is None:
+            out[full:] = (pad_in @ weight)[:remainder]
+        else:
+            np.matmul(pad_in, weight, out=pad_out)
+            out[full:] = pad_out[:remainder]
     return out
 
 

@@ -88,8 +88,20 @@ class Module:
                 full = f"{mod_name}.{p_name}" if mod_name else p_name
                 yield full, param
 
+    def iter_parameters(self) -> Iterator[Parameter]:
+        """Parameters of the subtree without building dotted names.
+
+        The nameless twin of :meth:`named_parameters` for hot paths
+        (``has_trainable``, ``zero_grad``, mode switches run per training
+        step or round): prefix strings dominate the generator walk's cost
+        and most callers never look at them.
+        """
+        yield from self._parameters.values()
+        for mod in self._modules.values():
+            yield from mod.iter_parameters()
+
     def parameters(self) -> list[Parameter]:
-        return [p for _, p in self.named_parameters()]
+        return list(self.iter_parameters())
 
     def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
         for mod_name, mod in self.named_modules(prefix):
@@ -106,18 +118,21 @@ class Module:
         )
 
     # -- train / eval --------------------------------------------------------
+    def _apply_mode(self, flag: bool) -> None:
+        object.__setattr__(self, "training", flag)
+        for mod in self._modules.values():
+            mod._apply_mode(flag)
+
     def train(self) -> "Module":
-        for _, mod in self.named_modules():
-            object.__setattr__(mod, "training", True)
+        self._apply_mode(True)
         return self
 
     def eval(self) -> "Module":
-        for _, mod in self.named_modules():
-            object.__setattr__(mod, "training", False)
+        self._apply_mode(False)
         return self
 
     def zero_grad(self) -> None:
-        for p in self.parameters():
+        for p in self.iter_parameters():
             p.zero_grad()
 
     # -- freezing -------------------------------------------------------------
@@ -139,7 +154,7 @@ class Module:
         return self
 
     def has_trainable(self) -> bool:
-        return any(p.requires_grad for p in self.parameters())
+        return any(p.requires_grad for p in self.iter_parameters())
 
     # -- state dict -------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:

@@ -122,11 +122,29 @@ class SegmentedModel(Module):
         level) yields a different fingerprint, which is what invalidates
         cached ϕ(x) feature arrays (see :mod:`repro.fl.features`).
         """
+        chain = self.phi_prefix_chain()
+        return chain[-1] if chain else None
+
+    def phi_prefix_chain(self) -> list[str]:
+        """Fingerprints of every frozen prefix ``segments[0:k)``, k = 1..split.
+
+        The digest is chained segment by segment, so element ``k-1`` is the
+        content hash a model whose frozen prefix were exactly the first
+        ``k`` segments (with these same weights) would report as its
+        :meth:`phi_fingerprint` — the last element *is* this model's
+        fingerprint. Two models sharing pretrained weights but split at
+        different depths therefore produce chains where one is a prefix of
+        the other, which is what lets the feature cache derive the deeper
+        split's ϕ(x) from the shallower split's cached arrays instead of
+        re-running ϕ from the raw inputs (prefix-chain keying, see
+        :mod:`repro.fl.features`). Empty without a frozen prefix.
+        """
         split = self.frozen_split_index()
         if split == 0:
-            return None
+            return []
         digest = hashlib.blake2b(digest_size=16)
         digest.update(type(self).__name__.encode())
+        chain: list[str] = []
         for name, segment in self.segments()[:split]:
             digest.update(name.encode())
             for p_name, param in sorted(segment.named_parameters(name)):
@@ -139,7 +157,8 @@ class SegmentedModel(Module):
                 digest.update(str(buf.dtype).encode())
                 digest.update(repr(buf.shape).encode())
                 digest.update(np.ascontiguousarray(buf).data)
-        return digest.hexdigest()
+            chain.append(digest.copy().hexdigest())
+        return chain
 
     # -- partial fine-tuning --------------------------------------------------
     def apply_fine_tune_level(self, level: str) -> "SegmentedModel":

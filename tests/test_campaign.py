@@ -38,7 +38,10 @@ def test_pool_publishes_once_and_refcounts():
         assert first is again
         assert len(calls) == 1  # arrays built (and copied) exactly once
         assert first.refs == 2
-        assert pool.stats == {"publishes": 1, "hits": 1, "segments": 1}
+        assert pool.stats == {
+            "publishes": 1, "hits": 1, "segments": 1, "evictions": 0,
+            "bytes": first.nbytes,
+        }
         pool.release(("shard", 0))
         assert first.refs == 1
         # a referenced segment survives trim; an idle one does not

@@ -150,7 +150,7 @@ def test_feature_runtime_builds_once_and_invalidates_on_phi_change():
     first = runtime.features_for(client, model)
     again = runtime.features_for(client, model)
     assert first is again
-    assert runtime.stats == {"builds": 1, "hits": 1}
+    assert runtime.stats["builds"] == 1 and runtime.stats["hits"] == 1
     # mutating ϕ changes the fingerprint: a fresh entry is built, the
     # stale one can never be served for the new ϕ
     model.stem.layers[0].weight.data += 1e-3

@@ -1,0 +1,781 @@
+"""Fused head-solver runtime: bitwise equivalence, fallbacks, lifecycle.
+
+The fused runtime (``repro.nn.fused`` + ``repro.fl.fastpath``) promises
+that head-only rounds executed through preplanned zero-allocation kernels
+reproduce the layer-graph path *exactly* — same losses, same θ trajectory,
+same RNG stream, same EventLog — with automatic fallback whenever a head
+is not fusible. These tests are that promise's enforcement, plus the PR's
+satellites: prefix-chain feature keying, the byte-budget LRU spill policy,
+and pooled evaluation for the synchronous serial path.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.fedft_eds import FedFTEDSConfig, run_fedft_eds
+from repro.core.partial import prepare_partial_model
+from repro.data.dataset import ArrayDataset
+from repro.engine.backends import (
+    LazyPooledEvaluator,
+    ProcessPoolBackend,
+)
+from repro.engine.campaign import CampaignSegmentPool
+from repro.fl import fastpath
+from repro.fl.client import Client
+from repro.fl.features import FeatureRuntime, compute_features, derive_features
+from repro.fl.selection import EntropySelector
+from repro.fl.strategies import LocalSolver
+from repro.nn.cnn import SmallConvNet
+from repro.nn.dropout import Dropout
+from repro.nn.fused import head_ops
+from repro.nn.linear import row_canonical_matmul, row_canonical_matmul_into
+from repro.nn.losses import CrossEntropyLoss, FusedCrossEntropy
+from repro.nn.mlp import MLP
+from repro.nn.module import Sequential
+from repro.testbed import ENGINE_SMOKE
+
+RNG = np.random.default_rng
+
+
+def _states_bitwise_equal(a, b):
+    return set(a) == set(b) and all(
+        a[k].tobytes() == b[k].tobytes() for k in a
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level identities
+# ---------------------------------------------------------------------------
+
+
+def test_row_canonical_matmul_into_matches_allocating():
+    """Same tiling, same bits — with and without caller-owned pad scratch."""
+    w = RNG(0).normal(size=(19, 7))
+    for n in (1, 3, 32, 33, 64, 70):
+        x = RNG(n).normal(size=(n, 19))
+        expected = row_canonical_matmul(x, w)
+        out = np.empty((n, 7))
+        row_canonical_matmul_into(x, w, out)
+        assert out.tobytes() == expected.tobytes()
+        out2 = np.empty((n, 7))
+        row_canonical_matmul_into(
+            x, w, out2, np.zeros((32, 19)), np.empty((32, 7))
+        )
+        assert out2.tobytes() == expected.tobytes()
+
+
+def test_fused_cross_entropy_matches_module_loss():
+    for n, c in ((1, 4), (5, 3), (32, 8)):
+        logits = RNG(n).normal(size=(n, c)) * 7
+        labels = RNG(n + 1).integers(0, c, size=n)
+        module = CrossEntropyLoss()
+        expected_loss = module.forward(logits, labels)
+        expected_grad = module.backward()
+        fused = FusedCrossEntropy(n, c)
+        got_loss = fused.forward(logits.copy(), labels)  # mutates its input
+        got_grad = fused.backward()
+        assert got_loss == expected_loss
+        assert got_grad.tobytes() == expected_grad.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Fusibility extraction
+# ---------------------------------------------------------------------------
+
+
+def _mlp(level="moderate", hidden=(16, 16, 16), classes=5, in_features=48):
+    model = MLP(in_features, hidden, classes, RNG(1))
+    prepare_partial_model(model, level)
+    return model
+
+
+def test_head_ops_fusible_and_unfusible():
+    layers, sig = head_ops(_mlp("moderate"))
+    assert [op[0] for op in sig] == ["linear", "relu", "linear"]
+    assert len(layers) == 3
+
+    cnn = SmallConvNet(4, RNG(0), channels=(4, 4, 4))
+    prepare_partial_model(cnn, "classifier")
+    layers, sig = head_ops(cnn)
+    assert [op[0] for op in sig] == ["gap", "linear"]
+
+    prepare_partial_model(cnn, "moderate")  # BatchNorm lands in θ
+    assert head_ops(cnn) == (None, None)
+
+    prepare_partial_model(cnn, "full")  # no frozen prefix at all
+    assert head_ops(cnn) == (None, None)
+
+    # an MLP at "full" still has the parameterless Flatten stem as ϕ, so
+    # the *entire* trainable network is one fusible chain
+    layers, sig = head_ops(_mlp("full"))
+    assert [op[0] for op in sig] == [
+        "linear", "relu", "linear", "relu", "linear", "relu", "linear"
+    ]
+
+
+def test_head_ops_dropout_gate():
+    model = _mlp("moderate")
+    model.head = Sequential(Dropout(0.0, RNG(2)), *model.head.layers)
+    layers, sig = head_ops(model)
+    assert layers is not None  # p=0 dropout is an RNG-free identity
+
+    model.head = Sequential(Dropout(0.5, RNG(2)), *model.head.layers[1:])
+    assert head_ops(model) == (None, None)
+
+
+def test_signature_tracks_trainable_flags():
+    model = _mlp("moderate")
+    _, before = head_ops(model)
+    model.head.layers[0].bias.requires_grad = False
+    _, after = head_ops(model)
+    assert before != after
+
+
+def test_plan_rejects_mismatched_feature_shapes():
+    _, sig = head_ops(_mlp("moderate"))
+    assert fastpath.make_plan(sig, (16,)) is not None
+    assert fastpath.make_plan(sig, (7,)) is None
+    assert fastpath.make_plan(sig, (4, 2, 2)) is None
+
+
+# ---------------------------------------------------------------------------
+# Client-round bitwise equivalence matrix
+# ---------------------------------------------------------------------------
+
+
+def _one_client_round(fused, *, momentum=0.5, wd=0.0, prox=0.0, epochs=3,
+                      frac=0.3, n=90, level="moderate", model_kind="mlp",
+                      rounds=2):
+    rng = RNG(0)
+    x = rng.normal(size=(n, 3, 4, 4))
+    y = rng.integers(0, 5, size=n)
+    if model_kind == "mlp":
+        model = _mlp(level)
+    else:
+        model = SmallConvNet(5, RNG(1), channels=(4, 4, 4))
+        prepare_partial_model(model, level)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(),
+        LocalSolver(lr=0.1, momentum=momentum, weight_decay=wd, prox_mu=prox,
+                    batch_size=32),
+        frac, epochs, RNG(7), fused_solver=fused,
+    )
+    state = model.state_dict()
+    features = FeatureRuntime().features_for(client, model)
+    assert features is not None
+    updates = [
+        client.run_round(model, state, features=features)
+        for _ in range(rounds)
+    ]
+    return updates, client.rng.bit_generator.state
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},  # paper defaults: momentum, no decay, no prox
+        {"momentum": 0.0},
+        {"wd": 0.01},
+        {"prox": 0.1},
+        {"prox": 0.1, "wd": 0.01, "momentum": 0.9},
+        {"frac": 0.37},  # 33 selected: full tile + singleton final batch
+        {"frac": 0.02},  # selection clamps to one sample per step
+        {"level": "classifier"},
+        {"epochs": 1},
+        {"model_kind": "cnn", "level": "classifier"},  # GAP over 4-D ϕ(x)
+    ],
+)
+def test_fused_round_bitwise_matches_graph(kwargs):
+    """Mean loss, θ bytes and the advanced RNG state agree round for round
+    — multi-epoch permutation draws included."""
+    fused_updates, fused_rng = _one_client_round(True, **kwargs)
+    graph_updates, graph_rng = _one_client_round(False, **kwargs)
+    assert fused_rng == graph_rng
+    for f, g in zip(fused_updates, graph_updates):
+        assert f.mean_loss == g.mean_loss
+        assert f.num_selected == g.num_selected
+        assert list(f.theta) == list(g.theta)
+        assert _states_bitwise_equal(f.theta, g.theta)
+
+
+def test_unfusible_head_falls_back_to_graph_bitwise():
+    """BatchNorm in θ (CNN at the paper-default split): the fused flag is a
+    no-op — both flag settings take the layer-graph path, bitwise equal."""
+    fused_updates, fused_rng = _one_client_round(
+        True, model_kind="cnn", level="moderate"
+    )
+    graph_updates, graph_rng = _one_client_round(
+        False, model_kind="cnn", level="moderate"
+    )
+    assert fused_rng == graph_rng
+    for f, g in zip(fused_updates, graph_updates):
+        assert f.mean_loss == g.mean_loss
+        assert _states_bitwise_equal(f.theta, g.theta)
+
+
+def test_entropy_selection_identical_under_fused_scoring():
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(70, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=70)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(batch_size=16),
+        LocalSolver(batch_size=8), 0.2, 1, RNG(3),
+    )
+    features = FeatureRuntime().features_for(client, model)
+    bound = fastpath.client_head_plan(client, model, features.shape[1:])
+    assert bound is not None
+    selector = client.selector
+    graph_scores = selector.scores(model, client.dataset, features)
+    fused_scores = selector.scores(model, client.dataset, features, bound)
+    assert fused_scores.tobytes() == graph_scores.tobytes()
+    graph_idx = selector.select(model, client.dataset, 0.2, RNG(4), features)
+    fused_idx = selector.select(
+        model, client.dataset, 0.2, RNG(4), features, fastpath=bound
+    )
+    assert np.array_equal(graph_idx, fused_idx)
+
+
+def test_fedprox_missing_reference_falls_back_to_graph_error():
+    """A broadcast reference missing a trainable key: the fused path must
+    decline (returning the graph path's usual KeyError), never silently
+    skip the proximal term."""
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(30, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=30)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(),
+        LocalSolver(prox_mu=0.1, batch_size=8), 0.5, 1, RNG(3),
+    )
+    features = FeatureRuntime().features_for(client, model)
+    bound = fastpath.client_head_plan(client, model, features.shape[1:])
+    dataset = client.dataset.subset(np.arange(15))
+    with pytest.raises(KeyError):
+        client.solver.run(
+            model, dataset, 1, RNG(4),
+            global_reference={},  # valid object, but no θ keys resolve
+            features=features[:15], fastpath=bound,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_plan_workspace_reused_across_rounds_and_dies_with_client():
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(40, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=40)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+        0.5, 1, RNG(3),
+    )
+    features = FeatureRuntime().features_for(client, model)
+    first = fastpath.client_head_plan(client, model, features.shape[1:])
+    again = fastpath.client_head_plan(client, model, features.shape[1:])
+    assert first.plan is again.plan  # one workspace per (client, head shape)
+    assert client in fastpath._PLANS
+    del first, again
+    del client
+    gc.collect()
+    assert not any(True for _ in fastpath._PLANS)  # weak cache, no pinning
+
+
+def test_plan_releases_feature_references_after_use():
+    """A plan must not pin the cached ϕ(x) array between rounds — that
+    would defeat the byte-budget spill policy exactly under pressure."""
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(40, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=40)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+        0.5, 1, RNG(3),
+    )
+    features = FeatureRuntime().features_for(client, model)
+    client.run_round(model, model.state_dict(), features=features)
+    bound = fastpath.client_head_plan(client, model, features.shape[1:])
+    for ws in bound.plan._row_ws.values():
+        assert all(ref is None for ref in ws["inputs"])
+
+
+def test_plan_not_pickled_with_worker_client_descriptor():
+    """The process backend's client descriptor (what workers unpickle) must
+    not drag plan workspaces across the pipe."""
+    import copy
+    import pickle
+
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(40, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=40)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+        0.5, 1, RNG(3), fused_solver=True,
+    )
+    features = FeatureRuntime().features_for(client, model)
+    assert fastpath.client_head_plan(client, model, features.shape[1:])
+    clone = copy.copy(client)
+    clone.dataset = None
+    clone.rng = None
+    blob = pickle.dumps(clone)  # plans live in a module-level weak cache
+    assert len(blob) < 4096
+    assert pickle.loads(blob).fused_solver is True
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence (sync serial + async process) and the CLI gate
+# ---------------------------------------------------------------------------
+
+
+def _run(config_kwargs):
+    result = run_fedft_eds(FedFTEDSConfig(**config_kwargs))
+    return result.history.records, {
+        k: v.copy() for k, v in result.server.global_state.items()
+    }
+
+
+def test_end_to_end_sync_equivalence_fused_vs_graph():
+    base = dict(ENGINE_SMOKE, model="mlp", seed=3, selection="eds")
+    fused_records, fused_state = _run(dict(base, fused_solver=True))
+    graph_records, graph_state = _run(dict(base, fused_solver=False))
+    assert fused_records == graph_records
+    assert _states_bitwise_equal(fused_state, graph_state)
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_end_to_end_async_equivalence_fused_vs_graph(backend):
+    base = dict(
+        ENGINE_SMOKE, model="mlp", seed=9, mode="fedasync",
+        dropout_probability=0.2,
+    )
+    graph_records, graph_state = _run(dict(base, fused_solver=False))
+    fused_records, fused_state = _run(
+        dict(base, fused_solver=True, backend=backend, max_workers=2)
+    )
+    assert fused_records == graph_records
+    assert _states_bitwise_equal(fused_state, graph_state)
+
+
+def test_no_fused_solver_cli_flag():
+    from repro.experiments.run_all import build_parser
+
+    args = build_parser().parse_args(["--no-fused-solver"])
+    assert args.no_fused_solver
+    assert not build_parser().parse_args([]).no_fused_solver
+
+
+# ---------------------------------------------------------------------------
+# Pooled evaluation: fused worker jobs + the serial path satellite
+# ---------------------------------------------------------------------------
+
+
+def _mlp_federation(num_clients=2, samples=80, test=48):
+    rng = RNG(0)
+    x = rng.normal(size=(samples, 3, 4, 4))
+    y = rng.integers(0, 5, size=samples)
+    model = _mlp("moderate")
+    clients = [
+        Client(
+            i, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+            0.3, 1, RNG(10 + i), shard_key=("fused-test", i),
+        )
+        for i in range(num_clients)
+    ]
+    test_set = ArrayDataset(x[:test], y[:test])
+    return model, clients, test_set
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_pooled_evaluation_fused_matches_serial(fused):
+    from repro.fl.server import Server
+
+    model, _clients, test_set = _mlp_federation()
+    state = model.state_dict()
+    serial = Server(model, test_set)
+    expected = serial.evaluate(batch_size=16)
+    runtime = FeatureRuntime()
+    backend = ProcessPoolBackend(
+        max_workers=2, feature_runtime=runtime, fused_solver=fused
+    )
+    try:
+        got = backend.evaluate_pooled(model, state, test_set, batch_size=16)
+    finally:
+        backend.shutdown()
+    assert got == expected
+
+
+def test_lazy_pooled_evaluator_spins_up_on_first_use():
+    from repro.fl.server import Server
+
+    model, _clients, test_set = _mlp_federation()
+    state = model.state_dict()
+    serial = Server(model, test_set)
+    expected = serial.evaluate(batch_size=16)
+    built = []
+
+    def factory():
+        backend = ProcessPoolBackend(
+            max_workers=1, feature_runtime=FeatureRuntime()
+        )
+        built.append(backend)
+        return backend
+
+    evaluator = LazyPooledEvaluator(factory, test_set, batch_size=16)
+    assert not built  # attaching costs nothing
+    try:
+        assert evaluator.evaluate(model, state) == expected
+        assert evaluator.evaluate(model, state) == expected
+        assert len(built) == 1  # one backend for the evaluator's lifetime
+    finally:
+        for backend in built:
+            backend.shutdown()
+
+
+def test_harness_serial_runs_reuse_warm_campaign_evaluator():
+    """After one process-backend run, a serial run of the same campaign
+    rides the warm workers for its evaluations — bitwise identical to a
+    cold, purely serial campaign."""
+    from repro.experiments.common import STANDARD_METHODS
+    from repro.testbed import smoke_harness
+
+    method = STANDARD_METHODS["fedft_eds"]
+    with smoke_harness(seed=21) as cold:
+        reference = cold.federated("cifar10", method, 0.1, 2, rounds=2,
+                                   backend="serial")
+    with smoke_harness(seed=21) as warm:
+        warm.federated("cifar10", method, 0.1, 2, rounds=2, backend="process")
+        pooled_before = warm._campaign_backend.stats["pooled_evals"]
+        serial_run = warm.federated("cifar10", method, 0.1, 2, rounds=2,
+                                    backend="serial")
+        assert warm._campaign_backend.stats["pooled_evals"] > pooled_before
+    assert (
+        serial_run.history.accuracies.tolist()
+        == reference.history.accuracies.tolist()
+    )
+
+
+def test_harness_pooled_serial_eval_opt_in_spins_up_lazily():
+    from repro.experiments.common import STANDARD_METHODS
+    from repro.testbed import smoke_harness
+
+    method = STANDARD_METHODS["fedft_eds"]
+    with smoke_harness(seed=22) as cold:
+        reference = cold.federated("cifar10", method, 0.1, 2, rounds=2,
+                                   backend="serial")
+    with smoke_harness(seed=22, pooled_serial_eval=True) as harness:
+        assert harness._campaign_backend is None
+        result = harness.federated("cifar10", method, 0.1, 2, rounds=2,
+                                   backend="serial")
+        # first evaluation spun the campaign backend up and used it
+        assert harness._campaign_backend is not None
+        assert harness._campaign_backend.stats["pooled_evals"] >= 2
+    assert (
+        result.history.accuracies.tolist()
+        == reference.history.accuracies.tolist()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prefix-chain feature keying
+# ---------------------------------------------------------------------------
+
+
+def _two_split_models():
+    """One pretrained MLP at two fine-tune levels: chains share a prefix."""
+    deep = _mlp("classifier")  # ϕ = stem+low+mid+up (split 4)
+    shallow = MLP(48, (16, 16, 16), 5, RNG(1))
+    shallow.load_state_dict(deep.state_dict())
+    prepare_partial_model(shallow, "moderate")  # ϕ = stem+low+mid (split 3)
+    return shallow, deep
+
+
+def test_phi_prefix_chain_ends_at_fingerprint_and_shares_prefixes():
+    shallow, deep = _two_split_models()
+    shallow_chain = shallow.phi_prefix_chain()
+    deep_chain = deep.phi_prefix_chain()
+    assert shallow_chain[-1] == shallow.phi_fingerprint()
+    assert deep_chain[-1] == deep.phi_fingerprint()
+    assert deep_chain[: len(shallow_chain)] == shallow_chain
+    cnn = SmallConvNet(4, RNG(0), channels=(4, 4, 4))
+    prepare_partial_model(cnn, "full")  # conv stem is trainable: no ϕ
+    assert cnn.phi_prefix_chain() == []
+
+
+def test_derive_features_bitwise_matches_full_build():
+    shallow, deep = _two_split_models()
+    x = RNG(5).normal(size=(50, 3, 4, 4))
+    base = compute_features(shallow, x, batch_size=16)
+    derived = derive_features(deep, base, from_split=3, batch_size=16)
+    direct = compute_features(deep, x, batch_size=16)
+    assert derived.tobytes() == direct.tobytes()
+
+
+def test_feature_runtime_derives_deeper_split_from_cached_prefix():
+    shallow, deep = _two_split_models()
+    x = RNG(5).normal(size=(50, 3, 4, 4))
+    y = RNG(6).integers(0, 5, size=50)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+        0.5, 1, RNG(7), shard_key=("chain", 0),
+    )
+    runtime = FeatureRuntime(batch_size=16)
+    shallow_features = runtime.features_for(client, shallow)
+    deep_features = runtime.features_for(client, deep)
+    assert runtime.stats["builds"] == 1
+    assert runtime.stats["derived"] == 1
+    assert deep_features.tobytes() == compute_features(
+        deep, x, batch_size=16
+    ).tobytes()
+    assert shallow_features.tobytes() == compute_features(
+        shallow, x, batch_size=16
+    ).tobytes()
+
+
+def test_process_backend_derives_feature_segments_from_prefix():
+    shallow, deep = _two_split_models()
+    x = RNG(5).normal(size=(50, 3, 4, 4))
+    y = RNG(6).integers(0, 5, size=50)
+    client = Client(
+        0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+        0.5, 1, RNG(7),
+    )
+    runtime = FeatureRuntime(batch_size=16)
+    backend = ProcessPoolBackend(max_workers=1, feature_runtime=runtime)
+    try:
+        backend._ensure_features(client, shallow)
+        record = backend._ensure_features(client, deep)
+        assert runtime.stats["builds"] == 1
+        assert runtime.stats["derived"] == 1
+        from repro.engine.backends import _view_arrays
+
+        derived = _view_arrays(record.shm.buf, record.layout)["f"]
+        assert derived.tobytes() == compute_features(
+            deep, x, batch_size=16
+        ).tobytes()
+    finally:
+        backend.shutdown()
+
+
+def test_process_backend_derives_across_runs_from_pooled_prefix():
+    """The motivating campaign shape: run 1 at a shallow split, end_run
+    (which clears the per-run feature memo), run 2 at a deeper split —
+    the deep features must derive from run 1's *pooled* segment, not
+    rebuild from the raw shard."""
+    from repro.engine.backends import _view_arrays
+
+    shallow, deep = _two_split_models()
+    x = RNG(5).normal(size=(50, 3, 4, 4))
+    y = RNG(6).integers(0, 5, size=50)
+
+    def make_client():
+        return Client(
+            0, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+            0.5, 1, RNG(7), shard_key=("cross-run", 0),
+        )
+
+    runtime = FeatureRuntime(batch_size=16)
+    pool = CampaignSegmentPool()
+    backend = ProcessPoolBackend(
+        max_workers=1, feature_runtime=runtime, segment_pool=pool,
+        persistent=True,
+    )
+    try:
+        backend._ensure_features(make_client(), shallow)
+        backend.end_run()  # clears the per-run memo; pool stays resident
+        assert not backend._features
+        record = backend._ensure_features(make_client(), deep)
+        assert runtime.stats["builds"] == 1  # never rebuilt from raw x
+        assert runtime.stats["derived"] == 1
+        derived = _view_arrays(record.shm.buf, record.layout)["f"]
+        assert derived.tobytes() == compute_features(
+            deep, x, batch_size=16
+        ).tobytes()
+    finally:
+        backend.shutdown()
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Byte-budget LRU spill policy
+# ---------------------------------------------------------------------------
+
+
+def test_feature_runtime_byte_budget_evicts_lru():
+    model = _mlp("moderate")
+    x = RNG(1).normal(size=(64, 3, 4, 4))
+    y = RNG(2).integers(0, 5, size=64)
+
+    def make_client(i):
+        return Client(
+            i, ArrayDataset(x, y), EntropySelector(), LocalSolver(batch_size=8),
+            0.5, 1, RNG(3 + i), shard_key=("budget", i),
+        )
+
+    probe = FeatureRuntime()
+    entry_bytes = probe.features_for(make_client(0), model).nbytes
+    runtime = FeatureRuntime(byte_budget=2 * entry_bytes)
+    clients = [make_client(i) for i in range(3)]
+    for client in clients:
+        runtime.features_for(client, model)
+    assert runtime.stats["builds"] == 3
+    assert runtime.stats["evictions"] == 1  # client 0 was the LRU victim
+    assert runtime.stats["bytes"] == 2 * entry_bytes
+    runtime.features_for(clients[1], model)  # still resident: a pure hit
+    assert runtime.stats["builds"] == 3
+    runtime.features_for(clients[0], model)  # evicted: rebuilt
+    assert runtime.stats["builds"] == 4
+    assert runtime.trim(0) == 2  # explicit trim empties the keyed cache
+    assert runtime.stats["bytes"] == 0
+
+
+def test_segment_pool_byte_budget_evicts_idle_feature_segments_only():
+    arrays = {"f": np.zeros(1024)}  # 8 KiB per segment
+    nbytes = arrays["f"].nbytes
+    pool = CampaignSegmentPool(byte_budget=nbytes)  # one feat segment's worth
+    try:
+        shard = pool.acquire(("shard", 0), lambda: dict(arrays))
+        first = pool.acquire(("feat", 0), lambda: dict(arrays))
+        pool.release(("feat", 0))  # idle — eligible for eviction
+        pool.acquire(("feat", 1), lambda: dict(arrays))
+        assert pool.stats["evictions"] == 1  # feat 0 went; shard protected
+        assert ("feat", 0) not in pool._segments
+        assert ("shard", 0) in pool._segments
+        assert shard.refs == 1
+        # manual trim with a kind filter never touches raw shards
+        pool.release(("feat", 1))
+        pool.release(("shard", 0))
+        assert pool.trim(0, kinds=("feat", "eval")) == 1
+        assert ("shard", 0) in pool._segments
+        del first
+    finally:
+        pool.close()
+
+
+def test_segment_pool_budget_counts_evictable_kinds_only():
+    """Raw shards exceeding the budget on their own must not thrash the
+    feature cache: the budget is compared against feat/eval bytes, so a
+    within-budget feature segment stays resident for the next run."""
+    arrays = {"f": np.zeros(1024)}  # 8 KiB
+    nbytes = arrays["f"].nbytes
+    pool = CampaignSegmentPool(byte_budget=2 * nbytes)
+    try:
+        for i in range(3):  # shards alone already exceed the budget
+            pool.acquire(("shard", i), lambda: dict(arrays))
+        pool.acquire(("feat", 0), lambda: dict(arrays))
+        pool.release(("feat", 0))
+        # a second feature publish: feat bytes (2·nbytes) == budget, so
+        # the idle feat 0 segment must survive for cross-run reuse
+        pool.acquire(("feat", 1), lambda: dict(arrays))
+        assert pool.stats["evictions"] == 0
+        assert ("feat", 0) in pool._segments
+    finally:
+        pool.close()
+
+
+def test_segment_pool_budget_never_evicts_the_segment_being_acquired():
+    """Even a segment larger than the whole budget must come back alive:
+    the budget trim runs only after the fresh segment holds its
+    reference, so acquire can never return an unlinked orphan."""
+    from multiprocessing import shared_memory
+
+    arrays = {"f": np.zeros(1024)}
+    pool = CampaignSegmentPool(byte_budget=1024)  # smaller than one segment
+    try:
+        segment = pool.acquire(("feat", 0), lambda: dict(arrays))
+        assert ("feat", 0) in pool._segments
+        assert segment.refs == 1
+        assert pool.stats["evictions"] == 0
+        # the segment is genuinely attachable (not unlinked behind our back)
+        attached = shared_memory.SharedMemory(name=segment.shm.name)
+        attached.close()
+        # once released it becomes a legitimate over-budget victim
+        pool.release(("feat", 0))
+        pool.acquire(("feat", 1), lambda: dict(arrays))
+        assert ("feat", 0) not in pool._segments
+        assert pool.stats["evictions"] == 1
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side plan-cache lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_worker_segment_cache_is_bounded_and_repins_evicted_names():
+    """Worker shm attachments are LRU-bounded: budget-evicted-and-
+    republished segments must not accumulate dead mappings, while names
+    pinned by cached clients survive and closed names re-attach."""
+    from multiprocessing import shared_memory
+
+    from repro.engine import backends as B
+
+    saved = dict(B._WORKER)
+    B._shm_worker_init()
+    segments = []
+    try:
+        names = []
+        for _ in range(B._WORKER_SEGMENT_CACHE + 4):
+            shm = shared_memory.SharedMemory(create=True, size=64)
+            segments.append(shm)
+            names.append(shm.name)
+        # pin the first name as a cached client's shard segment would
+        B._WORKER["clients"][("tpl", names[0], "digest")] = object()
+        for name in names:
+            B._worker_segment(name)
+        assert len(B._WORKER["segments"]) <= B._WORKER_SEGMENT_CACHE + 1
+        assert names[0] in B._WORKER["segments"]  # pinned by the client
+        assert names[-1] in B._WORKER["segments"]  # most recent
+        # an evicted name simply re-attaches (the parent still owns it)
+        evicted = next(n for n in names[1:] if n not in B._WORKER["segments"])
+        seg = B._worker_segment(evicted)
+        assert seg.buf is not None
+    finally:
+        B._WORKER["clients"].clear()
+        for seg in list(B._WORKER["segments"].values()):
+            seg.close()
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        B._WORKER.clear()
+        B._WORKER.update(saved)
+
+
+def test_worker_eval_plan_cache_evicted_with_template():
+    """The worker's fused eval plans are keyed by template segment and die
+    when the template replica is evicted — a long campaign's workers do
+    not accumulate one plan set per run."""
+    import pickle
+    from multiprocessing import shared_memory
+
+    from repro.engine import backends as B
+
+    saved = dict(B._WORKER)
+    B._shm_worker_init()
+    segments = []
+    try:
+        names = []
+        for seed in range(3):
+            blob = pickle.dumps(_mlp("moderate"))
+            shm = shared_memory.SharedMemory(create=True, size=len(blob))
+            shm.buf[: len(blob)] = blob
+            segments.append(shm)
+            names.append((shm.name, len(blob)))
+        B._worker_model(*names[0])
+        B._WORKER["eval_plans"][names[0][0]] = {"sig": object()}
+        B._worker_model(*names[1])
+        B._WORKER["eval_plans"][names[1][0]] = {"sig": object()}
+        B._worker_model(*names[2])  # cache is 2 deep: evicts names[0]
+        assert names[0][0] not in B._WORKER["models"]
+        assert names[0][0] not in B._WORKER["eval_plans"]
+        assert names[1][0] in B._WORKER["eval_plans"]
+    finally:
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+        B._WORKER.clear()
+        B._WORKER.update(saved)
