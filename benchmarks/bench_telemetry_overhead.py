@@ -1,0 +1,139 @@
+"""Benchmark: telemetry fabric overhead — ≤3% with tracing on, ~0 off.
+
+PR 6's observability fabric (``repro.obs``) instruments the client-round,
+evaluation and engine hot paths with spans and counters. Its charter says
+it must be free to carry: the disabled guards are a pointer test plus a
+shared null-span singleton, and even fully enabled (tracer installed,
+registry live) a federated run must stay within a few percent of the
+uninstrumented wall time. Two gates pinned here:
+
+1. **Enabled overhead** — a serial federated run with a
+   :class:`~repro.obs.report.TelemetrySession` active (``trace=True``)
+   must cost at most 3% more than the identical run with telemetry off,
+   measured interleaved min-of-reps so machine-load drift hits both
+   variants equally. Identity is asserted first: the observed run's
+   history and final weights must match the unobserved run byte for byte.
+2. **Disabled cost** — one pass through the disabled ``span()`` /
+   ``event_span()`` guards must stay sub-microsecond (there is nothing to
+   measure at per-round granularity: no allocation, no branch beyond the
+   ``None`` test).
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.engine.backends import SerialBackend
+from repro.fl.features import FeatureRuntime
+from repro.fl.rounds import run_federated_training
+from repro.obs import tracing
+from repro.obs.report import TelemetrySession
+from repro.testbed import tiny_federation
+
+ROUNDS = 6
+#: enough local work that one run is ~100 ms: scheduler jitter is
+#: additive (preemptions, cache warm-up), so the run must be long enough
+#: that ±0.5 ms of noise stays well inside the 3% gate
+FEDERATION = dict(seed=0, num_clients=3, samples=600, epochs=3)
+
+#: hard gate: telemetry+tracing fully enabled may cost at most this much
+MAX_ENABLED_OVERHEAD = 0.03
+#: hard gate: one disabled span guard (enter+exit) stays sub-microsecond
+MAX_DISABLED_SPAN_SECONDS = 1e-6
+
+
+def _federated_run(telemetry: bool):
+    """One full deterministic serial run, observed or not."""
+    server, clients = tiny_federation(**FEDERATION)
+    backend = SerialBackend(feature_runtime=FeatureRuntime())
+    session = None
+    if telemetry:
+        # no directory: pure in-memory observation, no I/O in the loop
+        session = TelemetrySession(trace=True)
+        session.activate()
+    try:
+        start = time.perf_counter()
+        history = run_federated_training(
+            server, clients, rounds=ROUNDS, seed=5, backend=backend
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        if session is not None:
+            session.record_run(
+                "bench", server=server, model=server.model,
+                history=history, num_clients=len(clients),
+            )
+            session.close()
+    return history, server, elapsed
+
+
+def _run_seconds(reps: int = 15) -> tuple[float, float]:
+    """Min-of-reps wall time of the full run, telemetry off and on,
+    interleaved rep by rep so load drift cannot bias the ratio. The true
+    instrumentation cost (~tens of µs) sits far below scheduler jitter,
+    so both minima must converge to their floors before the ratio means
+    anything — hence min-of-reps over runs long enough to drown jitter."""
+    for telemetry in (False, True):  # warm-up both paths
+        _federated_run(telemetry)
+    best = [float("inf"), float("inf")]
+    for _ in range(reps):
+        for which, telemetry in enumerate((False, True)):
+            _, _, elapsed = _federated_run(telemetry)
+            best[which] = min(best[which], elapsed)
+    return best[0], best[1]
+
+
+def _disabled_span_seconds(iters: int = 20000, reps: int = 7) -> float:
+    """Min-of-reps cost of one disabled span guard pair."""
+    tracing.uninstall()
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(iters):
+            with tracing.span("hot", 1.0):
+                pass
+            tracing.event_span("hot", 2.0, 1.0, 0)
+        best = min(best, (time.perf_counter() - start) / (2 * iters))
+    return best
+
+
+def test_telemetry_overhead_within_gate(benchmark):
+    """Telemetry fully on costs ≤3% of a serial federated run; the
+    disabled guards cost nothing measurable."""
+
+    def measure():
+        plain_history, plain_server, _ = _federated_run(False)
+        observed_history, observed_server, _ = _federated_run(True)
+        off, on = _run_seconds()
+        disabled = _disabled_span_seconds()
+        return (
+            plain_history, plain_server,
+            observed_history, observed_server,
+            off, on, disabled,
+        )
+
+    (
+        plain_history, plain_server,
+        observed_history, observed_server,
+        off, on, disabled,
+    ) = run_once(benchmark, measure)
+
+    # identity first: observation must not perturb the run at all
+    assert plain_history.records == observed_history.records
+    for key, value in plain_server.global_state.items():
+        assert observed_server.global_state[key].tobytes() == value.tobytes()
+
+    overhead = on / off - 1.0
+    benchmark.extra_info["run_off_ms"] = off * 1e3
+    benchmark.extra_info["run_on_ms"] = on * 1e3
+    benchmark.extra_info["enabled_overhead_fraction"] = overhead
+    benchmark.extra_info["disabled_span_ns"] = disabled * 1e9
+    assert overhead <= MAX_ENABLED_OVERHEAD, (
+        f"telemetry+tracing adds {overhead:.1%} to a serial federated run "
+        f"({on * 1e3:.2f} ms vs {off * 1e3:.2f} ms); gate is "
+        f"{MAX_ENABLED_OVERHEAD:.0%}"
+    )
+    assert disabled <= MAX_DISABLED_SPAN_SECONDS, (
+        f"a disabled span guard costs {disabled * 1e9:.0f} ns; "
+        f"gate is {MAX_DISABLED_SPAN_SECONDS * 1e9:.0f} ns"
+    )

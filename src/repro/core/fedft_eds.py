@@ -9,6 +9,7 @@ the public quickstart API; the experiment harness in
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -118,6 +119,14 @@ class FedFTEDSConfig:
     #: supplies the warm process backend, segment pool and feature runtime
     #: shared across runs (standalone calls build throwaway ones)
     campaign: "FedFTEDSCampaign | None" = None
+    #: observability (repro.obs): directory for ``telemetry.jsonl``
+    #: counter snapshots and the end-of-run summary; telemetry never
+    #: touches an RNG stream, so results are bitwise identical with it
+    #: on or off
+    telemetry_dir: str | None = None
+    #: with ``telemetry_dir``: also record dual-clock spans and export a
+    #: Perfetto-loadable ``trace.json``
+    trace: bool = False
 
 
 @dataclass
@@ -387,6 +396,35 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             target.test,
             test_key=("fedft-test",) + shard_identity[1:-1],
         )
+    session = None
+    if config.telemetry_dir is not None or config.trace:
+        from repro.obs import TelemetrySession
+
+        session = TelemetrySession(
+            directory=config.telemetry_dir,
+            trace=config.trace,
+            stream=sys.stdout if config.verbose else None,
+        )
+
+        def _backend_groups():
+            # The run's backend runtime (feature cache, warm-worker stats,
+            # shm pool) resolved lazily — some of it only exists after the
+            # first dispatched job.
+            groups = []
+            runtime = getattr(backend, "feature_runtime", None)
+            if runtime is not None:
+                groups.append(runtime.stats)
+            stats = getattr(backend, "stats", None)
+            if getattr(stats, "namespace", None):
+                groups.append(stats)
+            pool = getattr(backend, "segment_pool", None)
+            if pool is not None:
+                groups.append(pool.stats)
+                groups.append(pool.publishes_by_kind)
+            return groups
+
+        session.add_source(_backend_groups)
+        session.activate()
     try:
         if config.mode == "sync":
             history = run_federated_training(
@@ -422,6 +460,18 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
     finally:
         server.evaluator = None
         backend.close()
+        if session is not None:
+            try:
+                if "history" in locals():
+                    session.record_run(
+                        f"{config.dataset}/fedft_{config.selection}",
+                        server=server,
+                        model=model,
+                        history=history,
+                        num_clients=config.num_clients,
+                    )
+            finally:
+                session.close()
     return FedFTEDSResult(
         config=config,
         history=history,

@@ -71,6 +71,9 @@ from repro.fl.strategies import LocalUpdate
 from repro.fl.timing import TimingModel
 from repro.nn.segmented import SegmentedModel
 from repro.nn.serialization import theta_keys
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+from repro.obs.metrics import CounterGroup
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (campaign imports the
     # layout helpers below, so the runtime import goes the other way)
@@ -370,13 +373,13 @@ def _worker_model(name: str, nbytes: int) -> SegmentedModel:
     return model
 
 
-def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict]:
+def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict, dict | None]:
     """Worker entry point: run one round against shared-memory state.
 
     The job descriptor carries only names/layouts/RNG state; the template,
     weights and the shard are read from the attached segments. Returns the
-    update plus the advanced client RNG state, exactly like the pickling
-    backend.
+    update, the advanced client RNG state, and this job's metric-counter
+    shard delta (see :mod:`repro.obs.metrics`).
     """
     job = pickle.loads(job_blob)
     model = _worker_model(job["template_name"], job["template_nbytes"])
@@ -397,13 +400,21 @@ def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict]:
     if job.get("features_name"):
         feature_seg = _worker_segment(job["features_name"])
         features = _view_arrays(feature_seg.buf, job["features_layout"])["f"]
+    baseline = obs_metrics.shard_baseline()
     update = client.run_round(
         model, global_state, timing=job["timing"], features=features
     )
-    return update, client.rng.bit_generator.state
+    # Counter shard: what this job added to the worker's module-level
+    # metric groups (fused-solver counts, …), merged exactly into the
+    # parent registry by _ShmHandle.result (None when nothing changed).
+    return (
+        update,
+        client.rng.bit_generator.state,
+        obs_metrics.shard_delta(baseline),
+    )
 
 
-def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
+def _shm_eval_shard(job_blob: bytes) -> tuple[int, int, dict | None]:
     """Worker entry point: score one aligned test-set shard with current θ.
 
     Loads only the θ keys into the cached template replica (its ϕ is the
@@ -415,6 +426,7 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
     equal to ``np.mean`` over the whole logits matrix.
     """
     job = pickle.loads(job_blob)
+    baseline = obs_metrics.shard_baseline()
     model = _worker_model(job["template_name"], job["template_nbytes"])
     state_seg = _worker_segment(job["state_name"])
     state = _view_arrays(state_seg.buf, job["state_layout"])
@@ -426,6 +438,8 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
     labels = arrays["y"]
     inputs = arrays["f"] if "f" in arrays else arrays["x"]
     batch = int(job["batch_size"])
+    from repro.fl.fastpath import STATS as fused_stats
+
     if "f" in arrays and job.get("fused", True):
         # Fused evaluation: head-only shards run through a worker-cached
         # FusedHeadPlan (keyed per template, like the feature segments the
@@ -437,10 +451,13 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
         cache = _WORKER["eval_plans"].setdefault(job["template_name"], {})
         bound = bind_head(model, inputs.shape[1:], cache)
         if bound is not None:
+            fused_stats["fused_eval_shards"] += 1
             return (
                 bound.correct_count(inputs, labels, batch),
                 int(len(labels)),
+                obs_metrics.shard_delta(baseline),
             )
+    fused_stats["graph_eval_shards"] += 1
     forward = model.forward_head if "f" in arrays else model
     was_training = model.training
     model.eval()
@@ -450,7 +467,7 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int]:
         correct += int(np.count_nonzero(preds == labels[i : i + batch]))
     if was_training:
         model.train()
-    return correct, int(len(labels))
+    return correct, int(len(labels)), obs_metrics.shard_delta(baseline)
 
 
 @dataclass
@@ -537,11 +554,12 @@ class _ShmHandle:
 
     def result(self) -> LocalUpdate:
         try:
-            update, rng_state = self._future.result()
+            update, rng_state, metric_shard = self._future.result()
         finally:
             self._slot.refs -= 1
             self._template.refs -= 1
         self._client.rng.bit_generator.state = rng_state
+        obs_metrics.merge_exported(metric_shard)
         return update
 
 
@@ -609,18 +627,21 @@ class ProcessPoolBackend(ExecutionBackend):
         self._eval_segments: dict[tuple, tuple] = {}
         self._inflight: set[Future] = set()
         self._inflight_lock = threading.Lock()
-        self.stats = {
-            "jobs": 0,
-            "state_publishes": 0,
-            "state_segments": 0,
-            "shard_segments": 0,
-            "template_publishes": 0,
-            "job_payload_bytes": 0,
-            "max_job_payload_bytes": 0,
-            "feature_segments": 0,
-            "eval_segments": 0,
-            "pooled_evals": 0,
-        }
+        self.stats = CounterGroup(
+            "backend.process",
+            {
+                "jobs": 0,
+                "state_publishes": 0,
+                "state_segments": 0,
+                "shard_segments": 0,
+                "template_publishes": 0,
+                "job_payload_bytes": 0,
+                "max_job_payload_bytes": 0,
+                "feature_segments": 0,
+                "eval_segments": 0,
+                "pooled_evals": 0,
+            },
+        )
         register_emergency_cleanup(self)
 
     # -- worker pool --------------------------------------------------------
@@ -954,6 +975,14 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if len(test_set) == 0:
             return 0.0
+        with tracing.span("eval.pooled"):
+            return self._evaluate_pooled(
+                model, global_state, test_set, test_key, batch_size
+            )
+
+    def _evaluate_pooled(
+        self, model, global_state, test_set, test_key, batch_size
+    ) -> float:
         self._ensure_started()
         template_record = self._ensure_template(model)
         segments = self._ensure_eval_segments(
@@ -990,9 +1019,10 @@ class ProcessPoolBackend(ExecutionBackend):
         correct = 0
         total = 0
         for future in futures:
-            shard_correct, shard_total = future.result()
+            shard_correct, shard_total, metric_shard = future.result()
             correct += shard_correct
             total += shard_total
+            obs_metrics.merge_exported(metric_shard)
         self.stats["pooled_evals"] += 1
         return correct / total
 

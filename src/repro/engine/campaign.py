@@ -47,6 +47,9 @@ from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.obs import tracing
+from repro.obs.metrics import CounterGroup
+
 # ---------------------------------------------------------------------------
 # Emergency cleanup registry (atexit + fatal-signal best effort)
 # ---------------------------------------------------------------------------
@@ -190,15 +193,20 @@ class CampaignSegmentPool:
         # so iteration starts at the LRU victim.
         self._segments: dict[Hashable, PoolSegment] = {}
         self._closed = False
-        self.stats = {
-            "publishes": 0, "hits": 0, "segments": 0, "evictions": 0,
-            "bytes": 0,
-        }
+        self.stats = CounterGroup(
+            "campaign.pool",
+            {
+                "publishes": 0, "hits": 0, "segments": 0, "evictions": 0,
+                "bytes": 0,
+            },
+        )
         #: publishes broken down by key kind — tuple keys' first element
         #: ("feat" / "eval" for the feature runtime's segments, "shard" or
         #: campaign-specific for raw shards); what the campaign benchmarks
         #: assert publish-once economics against.
-        self.publishes_by_kind: dict = {}
+        self.publishes_by_kind: dict = CounterGroup(
+            "campaign.pool.publishes_by_kind"
+        )
         register_emergency_cleanup(self)
 
     def __len__(self) -> int:
@@ -222,10 +230,11 @@ class CampaignSegmentPool:
             raise RuntimeError("segment pool is closed")
         segment = self._segments.get(key)
         if segment is None:
-            arrays = arrays_factory()
-            layout, nbytes = _array_layout(arrays)
-            shm = shared_memory.SharedMemory(create=True, size=nbytes)
-            _write_arrays(shm.buf, layout, arrays)
+            with tracing.span("pool.publish"):
+                arrays = arrays_factory()
+                layout, nbytes = _array_layout(arrays)
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                _write_arrays(shm.buf, layout, arrays)
             segment = PoolSegment(key=key, shm=shm, layout=layout, nbytes=nbytes)
             self._segments[key] = segment
             self.stats["publishes"] += 1

@@ -106,6 +106,24 @@ class EventLog:
             return 0
         return self.records[-1].model_version
 
+    def to_jsonl(self, path: str, append: bool = False) -> str:
+        """Export the log as JSON Lines through the telemetry writer.
+
+        One ``{"type": "event", ...record fields}`` row per event, so an
+        async run's history is inspectable with the same tooling as
+        ``telemetry.jsonl`` snapshots and span exports (until now it lived
+        only in memory or inside checkpoint journals). Returns ``path``.
+        """
+        from dataclasses import asdict
+
+        from repro.obs.report import write_jsonl
+
+        return write_jsonl(
+            path,
+            ({"type": "event", **asdict(r)} for r in self.records),
+            append=append,
+        )
+
     def events_of_kind(self, kind: str) -> list[EventRecord]:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}; expected {EVENT_KINDS}")

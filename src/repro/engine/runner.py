@@ -38,6 +38,7 @@ from repro.engine.records import EventLog, EventRecord
 from repro.fl.client import Client
 from repro.fl.server import Server
 from repro.fl.timing import TimingModel
+from repro.obs import tracing
 from repro.utils import make_rng
 
 
@@ -196,6 +197,11 @@ def run_async_federated_training(
         ``max_events`` would train rounds whose results are discarded.
         """
         nonlocal in_flight
+        with tracing.span("engine.dispatch"):
+            _dispatch_ready()
+
+    def _dispatch_ready() -> None:
+        nonlocal in_flight
         while in_flight < max_concurrency and len(log) + in_flight < max_events:
             candidates = sorted(
                 cid for cid in idle if availability.is_online(cid, clock.now)
@@ -325,6 +331,9 @@ def run_async_federated_training(
         staleness = server.round_index - event.dispatch_version
         if event.kind == "drop":
             cumulative_seconds += event.duration
+            tracing.event_span(
+                "drop", event.time, event.duration, event.client_id
+            )
             return EventRecord(
                 event_index=len(log),
                 kind="drop",
@@ -339,9 +348,18 @@ def run_async_federated_training(
                 cumulative_client_seconds=cumulative_seconds,
                 mean_local_loss=0.0,
             )
-        update = backend.result(event.handle)
+        with tracing.span("engine.collect", event.time):
+            update = backend.result(event.handle)
         cumulative_seconds += update.train_seconds
-        applied = aggregator.apply(server, update, staleness, event.snapshot)
+        # The simulated round on the virtual track: one lane per client,
+        # spanning the event's [dispatch, completion] window.
+        tracing.event_span(
+            event.kind, event.time, event.duration, event.client_id
+        )
+        with tracing.span("engine.aggregate", event.time):
+            applied = aggregator.apply(
+                server, update, staleness, event.snapshot
+            )
         entry = live_versions.get(event.dispatch_version)
         if entry is not None:
             entry[1] -= 1

@@ -100,6 +100,14 @@ def run(
                     backend=backend,
                     eval_every=eval_every,
                 )
+        if harness.telemetry is not None:
+            harness.telemetry.record_run(
+                f"{DATASET}/{mode}",
+                server=server,
+                model=server.model,
+                history=histories[mode],
+                num_clients=num_clients,
+            )
 
     target = TARGET_FRACTION * histories["sync"].best_accuracy
     rows = []

@@ -186,6 +186,7 @@ class ExperimentHarness:
         fused_solver: bool = True,
         pooled_serial_eval: bool = False,
         feature_byte_budget: int | None = None,
+        telemetry: "TelemetrySession | None" = None,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -234,6 +235,30 @@ class ExperimentHarness:
         self._specs: dict[tuple[str, str], DomainSpec] = {}
         self._pretrained: dict[tuple[str, str], dict[str, np.ndarray]] = {}
         self._partitions: dict[tuple, list[np.ndarray]] = {}
+        #: optional observability session (repro.obs.report); read-only
+        #: with respect to training state — results are bitwise identical
+        #: with or without it
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_harness(self)
+
+    def telemetry_groups(self):
+        """The campaign's live counter groups (a telemetry registry source).
+
+        Resolved at snapshot time because the pool and the campaign
+        backend are created lazily on first process-backend use.
+        """
+        groups = []
+        if self.feature_runtime is not None:
+            groups.append(self.feature_runtime.stats)
+        if self.segment_pool is not None:
+            groups.append(self.segment_pool.stats)
+            groups.append(self.segment_pool.publishes_by_kind)
+        if self._campaign_backend is not None:
+            stats = getattr(self._campaign_backend, "stats", None)
+            if stats is not None:
+                groups.append(stats)
+        return groups
 
     def make_run_backend(self, backend: str | None = None) -> ExecutionBackend:
         """The execution backend for one run (caller closes it per run).
@@ -658,6 +683,14 @@ class ExperimentHarness:
             history=history,
             efficiency=learning_efficiency(method.label, history),
         )
+        if self.telemetry is not None:
+            self.telemetry.record_run(
+                f"{dataset}/{method.key}",
+                server=server,
+                model=server.model,
+                history=history,
+                num_clients=num_clients,
+            )
         if collect_client_states:
             broadcast = server.broadcast()
             for client in clients:

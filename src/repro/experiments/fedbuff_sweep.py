@@ -61,6 +61,14 @@ def run(
     sync_history = run_federated_training(
         server, clients, rounds=rounds, seed=run_seed + 1, timing=timing
     )
+    if harness.telemetry is not None:
+        harness.telemetry.record_run(
+            f"{DATASET}/sync_baseline",
+            server=server,
+            model=server.model,
+            history=sync_history,
+            num_clients=num_clients,
+        )
     target = TARGET_FRACTION * sync_history.best_accuracy
 
     max_events = EVENT_BUDGET_FACTOR * rounds * num_clients
@@ -90,6 +98,14 @@ def run(
                 timing=timing,
                 backend=backend,
                 eval_every=eval_every,
+            )
+        if harness.telemetry is not None:
+            harness.telemetry.record_run(
+                f"{DATASET}/fedbuff_k{k}",
+                server=server,
+                model=server.model,
+                history=log,
+                num_clients=num_clients,
             )
         seconds_to_target = log.seconds_to_accuracy(target)
         rows.append(

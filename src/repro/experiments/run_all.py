@@ -16,6 +16,7 @@ bitwise identical to serial by the engine's determinism contract.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -23,6 +24,7 @@ from repro.engine.backends import BACKENDS
 from repro.experiments.common import ExperimentHarness, HARNESS_MODES
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.scales import SCALES
+from repro.obs import TelemetrySession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write per-experiment telemetry (counter snapshots, run "
+            "summaries) under DIR/<experiment>/telemetry.jsonl; implied "
+            "as <output>/telemetry when --output is set"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "also record dual-clock spans and export a Perfetto-loadable "
+            "DIR/<experiment>/trace.json per experiment (requires "
+            "telemetry to be enabled)"
+        ),
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable telemetry even when --output is set",
+    )
+    parser.add_argument(
+        "--telemetry-refresh",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "print a live telemetry summary to the terminal every SECONDS "
+            "while experiments run (default: only at end of experiment)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -102,8 +138,19 @@ def run_experiments(
     max_workers: int | None = None,
     feature_cache: bool = True,
     fused_solver: bool = True,
+    telemetry_dir: str | None = None,
+    trace: bool = False,
+    telemetry_refresh: float = 0.0,
 ) -> dict[str, "ExperimentReport"]:
-    """Run (a subset of) the experiments and return their reports."""
+    """Run (a subset of) the experiments and return their reports.
+
+    When ``telemetry_dir`` is set, each experiment gets its own
+    :class:`~repro.obs.report.TelemetrySession` writing
+    ``<telemetry_dir>/<experiment>/telemetry.jsonl`` (plus ``trace.json``
+    when ``trace`` is on) and printing an end-of-experiment summary.
+    Telemetry is observational only: results are bitwise identical with
+    it on or off.
+    """
     ids = only or list_experiments()
     context: dict = {}
     reports = {}
@@ -123,7 +170,23 @@ def run_experiments(
             runner, description = get_experiment(experiment_id)
             start = time.time()
             print(f"== {experiment_id}: {description}", file=stream)
-            report = runner(harness, context)
+            session = None
+            if telemetry_dir is not None:
+                session = TelemetrySession(
+                    directory=os.path.join(telemetry_dir, experiment_id),
+                    trace=trace,
+                    live_refresh=telemetry_refresh,
+                    stream=stream,
+                )
+                session.attach_harness(harness)
+                harness.telemetry = session
+                session.activate()
+            try:
+                report = runner(harness, context)
+            finally:
+                harness.telemetry = None
+                if session is not None:
+                    session.close()
             elapsed = time.time() - start
             print(report.table, file=stream)
             print(f"   ({elapsed:.1f}s)\n", file=stream)
@@ -141,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:8s} {description}")
         return 0
     only = args.only.split(",") if args.only else None
+    telemetry_dir = args.telemetry
+    if telemetry_dir is None and args.output and not args.no_telemetry:
+        telemetry_dir = os.path.join(args.output, "telemetry")
+    if args.no_telemetry:
+        telemetry_dir = None
     run_experiments(
         args.scale,
         seed=args.seed,
@@ -151,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.max_workers,
         feature_cache=not args.no_feature_cache,
         fused_solver=not args.no_fused_solver,
+        telemetry_dir=telemetry_dir,
+        trace=args.trace,
+        telemetry_refresh=args.telemetry_refresh,
     )
     return 0
 

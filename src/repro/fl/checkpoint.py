@@ -53,6 +53,24 @@ from repro.fl.sampling import ParticipationModel
 from repro.fl.server import Server
 from repro.fl.timing import TimingModel
 from repro.nn.serialization import load_state, save_state
+from repro.obs import tracing
+from repro.obs.metrics import export_group
+
+#: checkpoint runtime counters (module-level: saves happen inside the
+#: engine loop, far from any session object; the registry picks the
+#: group up through the exported-groups source)
+STATS = export_group(
+    "checkpoint",
+    {
+        "saves": 0,
+        "journal_appends": 0,
+        "journal_rewrites": 0,
+        "journal_bytes": 0,
+        "payload_bytes": 0,
+        "compactions": 0,
+        "loads": 0,
+    },
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
     # repro.fl's package init imports this module, and the engine modules
@@ -304,6 +322,8 @@ def _write_journal(
                 offset += len(line)
             handle.flush()
             os.fsync(handle.fileno())
+        STATS["journal_appends"] += len(fresh)
+        STATS["journal_bytes"] += offset - int(committed["bytes"])
     else:
         journal_file = f"{_ASYNC_JOURNAL_PREFIX}-{generation}.jsonl"
         offset = 0
@@ -316,6 +336,8 @@ def _write_journal(
                 offset += len(line)
             handle.flush()
             os.fsync(handle.fileno())
+        STATS["journal_rewrites"] += 1
+        STATS["journal_bytes"] += offset
     return {
         "file": journal_file,
         "count": len(records),
@@ -467,6 +489,13 @@ def save_async_checkpoint(
     checkpoint loadable; superseded payload files are garbage-collected on
     the next successful save.
     """
+    with tracing.span("checkpoint.save"):
+        _save_async_checkpoint(path, state, full)
+
+
+def _save_async_checkpoint(
+    path: str, state: "AsyncRunState", full: bool
+) -> None:
     os.makedirs(path, exist_ok=True)
     previous = _read_manifest(path)
     generation = _current_generation(path) + 1
@@ -524,6 +553,10 @@ def save_async_checkpoint(
     # generation is GC'd. (The journal was fsynced as it was written.)
     for name in files.values():
         _fsync_file(os.path.join(path, name))
+    STATS["saves"] += 1
+    STATS["payload_bytes"] += sum(
+        os.path.getsize(os.path.join(path, name)) for name in files.values()
+    )
     manifest = os.path.join(path, _ASYNC_STATE_FILE)
     staging = manifest + ".tmp"
     with open(staging, "w") as handle:
@@ -633,6 +666,7 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
         records = _load_journal(path, payload["journal"])
     else:  # legacy format: the full event list lives in the manifest
         records = payload["records"]
+    STATS["loads"] += 1
     return AsyncRunState(
         clock_now=float(payload["clock_now"]),
         scheduler_rng_state=_unjsonable(payload["scheduler_rng_state"]),
@@ -667,8 +701,10 @@ def compact_async_checkpoint(path: str) -> "AsyncRunState":
     Resume runs it before continuing to journal into the same directory.
     Returns the loaded state so callers can reuse it.
     """
-    state = load_async_checkpoint(path)
-    save_async_checkpoint(path, state, full=True)
+    with tracing.span("checkpoint.compact"):
+        state = load_async_checkpoint(path)
+        save_async_checkpoint(path, state, full=True)
+    STATS["compactions"] += 1
     return state
 
 

@@ -134,7 +134,11 @@ class Client:
 
             fast = client_head_plan(self, model, features.shape[1:])
         if features is not None:
-            if fast is None or not fast.load_theta(model, global_state):
+            if fast is not None and fast.load_theta(model, global_state):
+                from repro.fl.fastpath import STATS as _fused_stats
+
+                _fused_stats["theta_fast_loads"] += 1
+            else:
                 model.load_state_dict(
                     {k: global_state[k] for k in theta_keys(model)},
                     strict=False,

@@ -37,6 +37,23 @@ import numpy as np
 
 from repro.nn.fused import FusedHeadPlan, head_ops
 from repro.nn.segmented import SegmentedModel
+from repro.obs.metrics import export_group
+
+#: fused-runtime counters; *exported* so increments made inside process
+#: workers ride each job result back to the parent registry (see
+#: repro.obs.metrics — the worker-shard merge protocol)
+STATS = export_group(
+    "solver.fused",
+    {
+        "plans_built": 0,
+        "plan_failures": 0,
+        "fused_solves": 0,
+        "graph_solves": 0,
+        "theta_fast_loads": 0,
+        "fused_eval_shards": 0,
+        "graph_eval_shards": 0,
+    },
+)
 
 #: per-client plan caches: client -> {(signature, feature shape): plan}
 #: (a ``None`` value remembers a (signature, shape) pair that failed to
@@ -198,9 +215,12 @@ def make_plan(signature: tuple, feature_shape: tuple) -> FusedHeadPlan | None:
     """A fresh plan for the signature, or None when the shapes cannot feed
     the chain (the graph path then raises its usual shape error)."""
     try:
-        return FusedHeadPlan(signature, feature_shape)
+        plan = FusedHeadPlan(signature, feature_shape)
     except ValueError:
+        STATS["plan_failures"] += 1
         return None
+    STATS["plans_built"] += 1
+    return plan
 
 
 def bind_head(

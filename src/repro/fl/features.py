@@ -60,6 +60,8 @@ import weakref
 import numpy as np
 
 from repro.nn.segmented import SegmentedModel
+from repro.obs import tracing
+from repro.obs.metrics import CounterGroup
 
 #: batch size used when materialising ϕ(x); any value is bitwise-equivalent
 #: under the row-determinism invariant, this one just bounds peak memory.
@@ -220,27 +222,32 @@ class FeatureRuntime:
         # on every hit), so the first key is always the LRU victim.
         self._keyed: dict[tuple, np.ndarray] = {}
         self._anonymous: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-        self.stats = {
-            "builds": 0,
-            "hits": 0,
-            "derived": 0,
-            "evictions": 0,
-            "bytes": 0,
-        }
+        self.stats = CounterGroup(
+            "features",
+            {
+                "builds": 0,
+                "hits": 0,
+                "derived": 0,
+                "evictions": 0,
+                "bytes": 0,
+            },
+        )
 
     def __len__(self) -> int:
         return len(self._keyed) + sum(len(v) for v in self._anonymous.values())
 
     def build(self, model: SegmentedModel, x: np.ndarray) -> np.ndarray:
         self.stats["builds"] += 1
-        return compute_features(model, x, self.batch_size)
+        with tracing.span("features.build"):
+            return compute_features(model, x, self.batch_size)
 
     def derive(
         self, model: SegmentedModel, base: np.ndarray, from_split: int
     ) -> np.ndarray:
         """Prefix-chain derivation (counted separately from full builds)."""
         self.stats["derived"] += 1
-        return derive_features(model, base, from_split, self.batch_size)
+        with tracing.span("features.derive"):
+            return derive_features(model, base, from_split, self.batch_size)
 
     def materialise(
         self,

@@ -11,6 +11,7 @@ from repro.fl.client import Client
 from repro.fl.sampling import FullParticipation, ParticipationModel
 from repro.fl.server import Server
 from repro.fl.timing import TimingModel
+from repro.obs import tracing
 from repro.utils import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -136,28 +137,31 @@ def run_federated_training(
         )
         broadcast = server.broadcast()
         participants = [clients[int(cid)] for cid in chosen]
-        if backend is None:
-            updates = [
-                client.run_round(
-                    server.model,
-                    broadcast,
-                    timing=timing,
-                    features=(
-                        feature_runtime.features_for(client, server.model)
-                        if feature_runtime is not None
-                        else None
-                    ),
+        with tracing.span("round.local_solve"):
+            if backend is None:
+                updates = [
+                    client.run_round(
+                        server.model,
+                        broadcast,
+                        timing=timing,
+                        features=(
+                            feature_runtime.features_for(client, server.model)
+                            if feature_runtime is not None
+                            else None
+                        ),
+                    )
+                    for client in participants
+                ]
+            else:
+                updates = backend.map_round(
+                    participants, server.model, broadcast, timing
                 )
-                for client in participants
-            ]
-        else:
-            updates = backend.map_round(
-                participants, server.model, broadcast, timing
-            )
         if updates:
-            server.aggregate(updates)
+            with tracing.span("round.aggregate"):
+                server.aggregate(updates)
         round_seconds = float(sum(u.train_seconds for u in updates))
         cumulative_seconds += round_seconds
+        tracing.event_span("round", cumulative_seconds, round_seconds, 0)
         evaluated = round_index % eval_every == 0 or round_index == rounds
         if evaluated:
             accuracy = server.evaluate()

@@ -18,6 +18,7 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.obs import tracing
 
 
 def selected_count(n: int, fraction: float) -> int:
@@ -148,7 +149,8 @@ class EntropySelector(DataSelector):
                fastpath=None):
         n = len(dataset)
         k = selected_count(n, fraction)
-        entropy = self.scores(model, dataset, features, fastpath)
+        with tracing.span("selection.entropy"):
+            entropy = self.scores(model, dataset, features, fastpath)
         # Highest-entropy samples are the "harder but more valuable" ones.
         top = np.argpartition(entropy, n - k)[n - k :]
         return np.sort(top)

@@ -12,6 +12,8 @@ from repro.fl.strategies import LocalUpdate
 from repro.nn import functional as F
 from repro.nn.segmented import SegmentedModel
 from repro.nn.serialization import theta_keys
+from repro.obs import tracing
+from repro.obs.metrics import CounterGroup
 
 
 class Server:
@@ -54,14 +56,18 @@ class Server:
         #: full reload instead of evaluating a stale backbone
         self._resident_fingerprint: str | None = None
         self._test_features: tuple[str, np.ndarray] | None = None
-        #: observability counters for the evaluation fast paths
-        self.eval_stats = {
-            "local_evals": 0,
-            "pooled_evals": 0,
-            "full_loads": 0,
-            "theta_loads": 0,
-            "feature_builds": 0,
-        }
+        #: observability counters for the evaluation fast paths (a plain
+        #: dict to callers; the namespace feeds the metrics registry)
+        self.eval_stats = CounterGroup(
+            "server.eval",
+            {
+                "local_evals": 0,
+                "pooled_evals": 0,
+                "full_loads": 0,
+                "theta_loads": 0,
+                "feature_builds": 0,
+            },
+        )
         # Alternating θ accumulators for aggregate(): the buffer written
         # two rounds ago is only reachable from that round's superseded
         # global_state, so it can be reused without touching anything a
@@ -110,6 +116,10 @@ class Server:
 
     def evaluate(self, batch_size: int = 512) -> float:
         """Top-1 accuracy of the current global model on the test set."""
+        with tracing.span("server.evaluate"):
+            return self._evaluate(batch_size)
+
+    def _evaluate(self, batch_size: int) -> float:
         if self.evaluator is not None:
             self.eval_stats["pooled_evals"] += 1
             return self.evaluator.evaluate(

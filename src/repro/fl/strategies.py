@@ -16,6 +16,14 @@ from repro.data.dataset import ArrayDataset, DataLoader, Dataset
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import SGD
+from repro.obs.metrics import export_group
+
+#: shared with repro.fl.fastpath (same exported namespace): how many local
+#: solves ran fused vs through the layer graph, merged exactly from
+#: process workers via the job-result shard protocol
+_FUSED_STATS = export_group(
+    "solver.fused", {"fused_solves": 0, "graph_solves": 0}
+)
 
 
 @dataclass
@@ -97,7 +105,9 @@ class LocalSolver:
                 global_reference,
             )
             if mean is not None:
+                _FUSED_STATS["fused_solves"] += 1
                 return mean
+        _FUSED_STATS["graph_solves"] += 1
         trainable = [
             (name, p) for name, p in model.named_parameters() if p.requires_grad
         ]

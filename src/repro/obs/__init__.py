@@ -1,0 +1,34 @@
+"""Campaign observability: metrics registry, dual-clock tracing, reports.
+
+Three pillars (see DESIGN.md "Observability fabric"):
+
+- :mod:`repro.obs.metrics` — one hierarchical counter/gauge/histogram
+  tree, with an exact worker-shard merge protocol for counters
+  incremented inside process-pool workers;
+- :mod:`repro.obs.tracing` — wall-clock *and* virtual-clock spans,
+  exported as JSONL and Perfetto-loadable Chrome trace JSON;
+- :mod:`repro.obs.report` — the :class:`TelemetrySession` that snapshots
+  everything to ``telemetry.jsonl`` and renders run summaries.
+
+All of it is read-only with respect to training state, touches no RNG
+stream, and is zero-cost when disabled.
+"""
+
+from repro.obs.metrics import (
+    CounterGroup,
+    Histogram,
+    MetricsRegistry,
+    export_group,
+)
+from repro.obs.report import TelemetrySession, write_jsonl
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "CounterGroup",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetrySession",
+    "Tracer",
+    "export_group",
+    "write_jsonl",
+]
