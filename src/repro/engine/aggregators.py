@@ -23,13 +23,32 @@ import numpy as np
 
 from repro.fl.aggregation import (
     apply_delta,
+    apply_delta_flat,
+    mix_flat,
     mix_states,
     staleness_weight,
+    subtract_flat,
     subtract_states,
     weighted_average,
+    weighted_average_flat,
 )
 from repro.fl.server import Server
+from repro.fl.slab import SlabLayout, SlabState, slab_successor
 from repro.fl.strategies import LocalUpdate
+
+
+def _flat_theta(
+    theta: dict[str, np.ndarray], layout: SlabLayout, scratch: np.ndarray
+) -> np.ndarray | None:
+    """``theta`` as one flat slab per ``layout``: zero-copy when it is
+    already slab-backed with the same packing, gathered into ``scratch``
+    otherwise; None when it does not fit the layout (→ dict path)."""
+    slab = getattr(theta, "theta_slab", None)
+    if slab is not None and theta.layout.signature == layout.signature:
+        return slab
+    if not layout.matches(theta):
+        return None
+    return layout.gather(theta, scratch)
 
 
 class AsyncAggregator:
@@ -96,17 +115,55 @@ class FedAsyncAggregator(AsyncAggregator):
     mixing: float = 0.6  # the paper's α
     staleness_exponent: float = 0.5
     _free: list[dict[str, np.ndarray]] = field(default_factory=list, repr=False)
+    #: retired θ slabs (flat lane) — a recycled SlabState surrenders its
+    #: flat here instead of joining the dict pool (never both: one retired
+    #: version must not back two buffers)
+    _free_flats: list[np.ndarray] = field(default_factory=list, repr=False)
+    _mix_scratch: np.ndarray | None = field(default=None, repr=False)
+    _gather_scratch: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self):
         if not 0.0 < self.mixing <= 1.0:
             raise ValueError(f"mixing must be in (0, 1], got {self.mixing}")
 
     def recycle(self, state):
-        if len(self._free) < 4:
+        slab = getattr(state, "theta_slab", None)
+        if slab is not None:
+            if len(self._free_flats) < 4:
+                self._free_flats.append(slab)
+        elif len(self._free) < 4:
             self._free.append(state)
+
+    def _take_flat(self, total: int, *forbidden: np.ndarray) -> np.ndarray:
+        free = self._free_flats
+        for idx in range(len(free) - 1, -1, -1):
+            flat = free[idx]
+            if len(flat) == total and not any(flat is f for f in forbidden):
+                return free.pop(idx)
+        return np.empty(total)
 
     def apply(self, server, update, staleness, base_state):
         alpha = self.mixing * staleness_weight(staleness, self.staleness_exponent)
+        base = server.global_state
+        layout = getattr(base, "layout", None)
+        if layout is not None:
+            if (
+                self._gather_scratch is None
+                or len(self._gather_scratch) != layout.total
+            ):
+                self._gather_scratch = np.empty(layout.total)
+            incoming = _flat_theta(update.theta, layout, self._gather_scratch)
+            if incoming is not None:
+                if (
+                    self._mix_scratch is None
+                    or len(self._mix_scratch) != layout.total
+                ):
+                    self._mix_scratch = np.empty(layout.total)
+                out = self._take_flat(layout.total, base.theta_slab, incoming)
+                mix_flat(base.theta_slab, incoming, alpha, out, self._mix_scratch)
+                server.global_state = slab_successor(base, out, layout)
+                server.round_index += 1
+                return True
         out = self._free.pop() if self._free else None
         server.global_state = mix_states(
             server.global_state, update.theta, alpha, out=out
@@ -135,10 +192,16 @@ class FedBuffAggregator(AsyncAggregator):
     #: retired θ-array dicts reusable as delta buffers (flushed deltas and
     #: dead broadcast versions offered through :meth:`recycle`)
     _free: list[dict[str, np.ndarray]] = field(default_factory=list, repr=False)
+    #: retired θ slabs for the flat lane (see FedAsyncAggregator._free_flats)
+    _free_flats: list[np.ndarray] = field(default_factory=list, repr=False)
     #: persistent accumulator for the flush's weighted average
     _merge_scratch: dict[str, np.ndarray] | None = field(
         default=None, repr=False
     )
+    _merge_flat: np.ndarray | None = field(default=None, repr=False)
+    _gather_scratch: np.ndarray | None = field(default=None, repr=False)
+    #: (buffered deltas × params) flush matrix, consumed as scratch
+    _stack_scratch: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.buffer_size <= 0:
@@ -151,12 +214,43 @@ class FedBuffAggregator(AsyncAggregator):
         return len(self._buffer)
 
     def recycle(self, state):
-        if len(self._free) < self.buffer_size + 4:
+        slab = getattr(state, "theta_slab", None)
+        if slab is not None:
+            if len(self._free_flats) < self.buffer_size + 4:
+                self._free_flats.append(slab)
+        elif len(self._free) < self.buffer_size + 4:
             self._free.append(state)
 
+    def _take_flat(self, total: int, *forbidden: np.ndarray) -> np.ndarray:
+        free = self._free_flats
+        for idx in range(len(free) - 1, -1, -1):
+            flat = free[idx]
+            if len(flat) == total and not any(flat is f for f in forbidden):
+                return free.pop(idx)
+        return np.empty(total)
+
     def apply(self, server, update, staleness, base_state):
-        out = self._free.pop() if self._free else None
-        delta = subtract_states(update.theta, base_state, out=out)
+        delta = None
+        layout = getattr(base_state, "layout", None)
+        if layout is not None:
+            if (
+                self._gather_scratch is None
+                or len(self._gather_scratch) != layout.total
+            ):
+                self._gather_scratch = np.empty(layout.total)
+            minuend = _flat_theta(update.theta, layout, self._gather_scratch)
+            if minuend is not None:
+                out = self._take_flat(
+                    layout.total, minuend, base_state.theta_slab
+                )
+                subtract_flat(minuend, base_state.theta_slab, out)
+                delta = SlabState()
+                delta.layout = layout
+                delta.theta_slab = out
+                delta.update(layout.views(out))
+        if delta is None:
+            out = self._free.pop() if self._free else None
+            delta = subtract_states(update.theta, base_state, out=out)
         weight = max(1, update.num_selected) * staleness_weight(
             staleness, self.staleness_exponent
         )
@@ -168,6 +262,8 @@ class FedBuffAggregator(AsyncAggregator):
     def flush(self, server):
         if not self._buffer:
             return False
+        if self._flush_flat(server):
+            return True
         merged = weighted_average(
             [d for d, _ in self._buffer],
             [w for _, w in self._buffer],
@@ -177,6 +273,42 @@ class FedBuffAggregator(AsyncAggregator):
             server.global_state, merged, lr=self.server_lr
         )
         self._merge_scratch = merged
+        server.round_index += 1
+        for delta, _ in self._buffer:
+            self.recycle(delta)
+        self._buffer.clear()
+        return True
+
+    def _flush_flat(self, server) -> bool:
+        """One-ufunc flush: stack → weighted average → delta application.
+
+        Engages only when the global state and every buffered delta share
+        one slab layout; mixed buffers (e.g. deltas restored from a
+        checkpoint as plain dicts) use the dict walk."""
+        base = server.global_state
+        layout = getattr(base, "layout", None)
+        if layout is None or not all(
+            getattr(delta, "theta_slab", None) is not None
+            and delta.layout.signature == layout.signature
+            for delta, _ in self._buffer
+        ):
+            return False
+        n = len(self._buffer)
+        stack = self._stack_scratch
+        if stack is None or stack.shape[0] < n or stack.shape[1] != layout.total:
+            stack = self._stack_scratch = np.empty((n, layout.total))
+        for j, (delta, _) in enumerate(self._buffer):
+            stack[j] = delta.theta_slab
+        merged = self._merge_flat
+        if merged is None or len(merged) != layout.total:
+            merged = np.empty(layout.total)
+        weighted_average_flat(
+            stack[:n], [w for _, w in self._buffer], out=merged
+        )
+        self._merge_flat = merged
+        out = self._take_flat(layout.total, base.theta_slab, merged)
+        apply_delta_flat(base.theta_slab, merged, self.server_lr, out)
+        server.global_state = slab_successor(base, out, layout)
         server.round_index += 1
         for delta, _ in self._buffer:
             self.recycle(delta)

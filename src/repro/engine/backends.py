@@ -260,6 +260,38 @@ def _write_arrays(buf, layout, arrays) -> None:
         view[...] = arrays[key]
 
 
+def _slab_wire_layout(
+    state: dict[str, np.ndarray], slab_layout
+) -> tuple[dict[str, tuple[int, tuple, str]], int, int, list[str]]:
+    """Wire layout for a slab-backed state: sorted ϕ keys, then the θ slab.
+
+    The θ keys' entries point *into* one trailing block that mirrors the
+    server slab's internal packing, so publishing θ is a single memcpy of
+    ``state.theta_slab`` — workers keep reading the ordinary per-key
+    ``(offset, shape, dtype)`` entries and never see the difference.
+    Returns ``(layout, nbytes, theta_offset, phi_keys)``.
+    """
+    layout: dict[str, tuple[int, tuple, str]] = {}
+    theta = set(slab_layout.keys)
+    phi_keys = [key for key in sorted(state) if key not in theta]
+    offset = 0
+    for key in phi_keys:
+        arr = state[key]
+        offset = -(-offset // _ALIGN) * _ALIGN
+        layout[key] = (offset, tuple(arr.shape), arr.dtype.str)
+        offset += arr.nbytes
+    offset = -(-offset // _ALIGN) * _ALIGN
+    theta_offset = offset
+    itemsize = np.dtype(np.float64).itemsize
+    dtype_str = np.dtype(np.float64).str
+    for key, shape, elem_offset in zip(
+        slab_layout.keys, slab_layout.shapes, slab_layout.offsets
+    ):
+        layout[key] = (theta_offset + elem_offset * itemsize, shape, dtype_str)
+    nbytes = theta_offset + slab_layout.total * itemsize
+    return layout, max(nbytes, 1), theta_offset, phi_keys
+
+
 def _view_arrays(buf, layout) -> dict[str, np.ndarray]:
     return {
         key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
@@ -449,7 +481,7 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int, dict | None]:
         from repro.fl.fastpath import bind_head
 
         cache = _WORKER["eval_plans"].setdefault(job["template_name"], {})
-        bound = bind_head(model, inputs.shape[1:], cache)
+        bound = bind_head(model, inputs.shape[1:], cache, eval_mode=True)
         if bound is not None:
             fused_stats["fused_eval_shards"] += 1
             return (
@@ -486,6 +518,13 @@ class _StateSlot:
     layout: dict = field(default_factory=dict)
     refs: int = 0
     state: dict | None = None
+    #: slab publication stamps: the θ SlabLayout signature and the ϕ array
+    #: identities last written into this buffer. When a successor version
+    #: matches both, only the θ block needs rewriting (one memcpy) — the ϕ
+    #: bytes are already resident. ``state`` pins the stamped arrays, so
+    #: the ids cannot be recycled while the stamp is consulted.
+    slab_signature: object = None
+    phi_stamp: tuple = ()
 
 
 @dataclass
@@ -632,6 +671,7 @@ class ProcessPoolBackend(ExecutionBackend):
             {
                 "jobs": 0,
                 "state_publishes": 0,
+                "state_slab_memcpys": 0,
                 "state_segments": 0,
                 "shard_segments": 0,
                 "template_publishes": 0,
@@ -688,7 +728,13 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._current is not None and self._current.state is global_state:
             self._current.refs += 1
             return self._current
-        layout, nbytes = _array_layout(global_state)
+        slab_layout = getattr(global_state, "layout", None)
+        if slab_layout is not None:
+            layout, nbytes, theta_offset, phi_keys = _slab_wire_layout(
+                global_state, slab_layout
+            )
+        else:
+            layout, nbytes = _array_layout(global_state)
         slot = next(
             (s for s in self._slots if s.refs == 0 and s.nbytes >= nbytes), None
         )
@@ -699,7 +745,36 @@ class ProcessPoolBackend(ExecutionBackend):
             )
             self._slots.append(slot)
             self.stats["state_segments"] = len(self._slots)
-        _write_arrays(slot.shm.buf, layout, global_state)
+        if slab_layout is not None:
+            # Successive model versions share ϕ by reference and differ
+            # only in the θ slab: when this buffer already holds the same
+            # ϕ objects' bytes under the same packing, the publish is one
+            # memcpy of the slab.
+            phi_stamp = tuple((key, id(global_state[key])) for key in phi_keys)
+            if (
+                slot.slab_signature != slab_layout.signature
+                or slot.phi_stamp != phi_stamp
+            ):
+                for key in phi_keys:
+                    offset, shape, dtype = layout[key]
+                    view = np.ndarray(
+                        shape, dtype=np.dtype(dtype), buffer=slot.shm.buf,
+                        offset=offset,
+                    )
+                    view[...] = global_state[key]
+                slot.slab_signature = slab_layout.signature
+                slot.phi_stamp = phi_stamp
+            else:
+                self.stats["state_slab_memcpys"] += 1
+            theta_block = np.ndarray(
+                slab_layout.total, dtype=np.float64, buffer=slot.shm.buf,
+                offset=theta_offset,
+            )
+            theta_block[...] = global_state.theta_slab
+        else:
+            _write_arrays(slot.shm.buf, layout, global_state)
+            slot.slab_signature = None
+            slot.phi_stamp = ()
         slot.layout = layout
         slot.state = global_state
         slot.refs += 1

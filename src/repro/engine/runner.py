@@ -21,6 +21,16 @@ re-dispatched from their recorded RNG state and broadcast snapshot,
 reproducing the identical event sequence.
 :func:`repro.fl.checkpoint.save_async_checkpoint` /
 ``resume_async_federated_training`` own the on-disk format.
+
+Model versions here are usually slab-backed
+(:class:`~repro.fl.slab.SlabState`): each broadcast snapshot's θ is one
+contiguous array, so the aggregators mix/delta whole slabs with single
+ufuncs and the process backend republishes a new version as one memcpy.
+The version-retirement sweep below feeds dead versions back through
+``AsyncAggregator.recycle``, which harvests their flats — a long run
+cycles a bounded set of θ-sized slabs instead of allocating per event.
+Everything degrades transparently to per-key dicts (restored checkpoints,
+heterogeneous θ) with bitwise-identical results.
 """
 
 from __future__ import annotations

@@ -10,10 +10,15 @@ seconds" used by the learning-efficiency metric.
 
 from repro.fl.aggregation import (
     apply_delta,
+    apply_delta_flat,
+    mix_flat,
     mix_states,
     staleness_weight,
+    subtract_flat,
     weighted_average,
+    weighted_average_flat,
 )
+from repro.fl.slab import SlabLayout, SlabState, make_slab_state
 from repro.fl.selection import (
     DataSelector,
     EntropySelector,
@@ -42,6 +47,7 @@ from repro.fl.checkpoint import (
     load_checkpoint,
     resume_async_federated_training,
     resume_federated_training,
+    resume_sync_federated_training,
     save_async_checkpoint,
     save_checkpoint,
 )
@@ -53,9 +59,16 @@ from repro.fl.communication import (
 
 __all__ = [
     "weighted_average",
+    "weighted_average_flat",
     "mix_states",
+    "mix_flat",
     "apply_delta",
+    "apply_delta_flat",
+    "subtract_flat",
     "staleness_weight",
+    "SlabLayout",
+    "SlabState",
+    "make_slab_state",
     "DataSelector",
     "EntropySelector",
     "RandomSelector",
@@ -75,6 +88,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "resume_federated_training",
+    "resume_sync_federated_training",
     "save_async_checkpoint",
     "load_async_checkpoint",
     "resume_async_federated_training",

@@ -15,6 +15,16 @@ after writing (checked per key; mismatches silently fall back to
 allocation), so the ``out=`` path is bitwise-identical to the allocating
 one. Callers own the aliasing contract one level up: never pass arrays
 that something else (a broadcast snapshot, a buffered delta) still reads.
+
+Flat-slab kernels: when every state's θ lives as one contiguous float64
+slab (:mod:`repro.fl.slab`), the per-key dict walks above collapse to the
+``*_flat`` variants — one ufunc over the whole slab (aggregation over a
+2-D (clients × params) stack). Each flat kernel replays its dict
+counterpart's exact operation sequence element by element, so results are
+bitwise identical; the only reassociation — ``np.add.reduce`` over the
+stack axis versus the sequential ``acc += w·state`` walk — is pairwise
+left-to-right in both formulations, with a trailing ``+ 0.0`` restoring
+the dict walk's zero-initialised accumulator sign on all-``-0.0`` columns.
 """
 
 from __future__ import annotations
@@ -65,17 +75,7 @@ def weighted_average(
     trainable parameters, the standard FedAvg convention. ``out`` optionally
     supplies retired accumulator arrays (see the module docstring).
     """
-    if not states:
-        raise ValueError("no states to aggregate")
-    if len(states) != len(weights):
-        raise ValueError("states and weights length mismatch")
-    weights = np.asarray(weights, dtype=np.float64)
-    if np.any(weights < 0):
-        raise ValueError("weights must be non-negative")
-    total = weights.sum()
-    if total <= 0:
-        raise ValueError("weights sum to zero")
-    weights = weights / total
+    weights = _normalized_weights(len(states), weights)
 
     keys = set(states[0])
     for i, state in enumerate(states[1:], start=1):
@@ -93,6 +93,52 @@ def weighted_average(
             acc += w * state[key]
         result[key] = acc
     return result
+
+
+def _normalized_weights(count: int, weights: Sequence[float]) -> np.ndarray:
+    """Validate and normalise aggregation weights (shared dict/flat path).
+
+    Raises exactly what :func:`weighted_average` historically raised, so the
+    flat path keeps the dict path's error contract.
+    """
+    if count == 0:
+        raise ValueError("no states to aggregate")
+    if count != len(weights):
+        raise ValueError("states and weights length mismatch")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    return weights / total
+
+
+def weighted_average_flat(
+    stack: np.ndarray,
+    weights: Sequence[float],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """FedAvg over a ``(clients × params)`` stack as one ufunc pair.
+
+    ``stack`` holds one flat θ slab per row and is **consumed as scratch**
+    (rows are scaled in place). ``out`` optionally receives the reduced
+    slab (a retired flat of the same length). Bitwise-identical to
+    :func:`weighted_average` on the per-key views of the same slabs:
+    ``np.add.reduce`` accumulates rows pairwise left-to-right exactly like
+    the sequential ``acc += w·state`` walk, and the trailing ``+ 0.0``
+    reproduces the walk's zero-initialised accumulator on columns where
+    every scaled row is ``-0.0`` (the one place the formulations differ).
+    """
+    if stack.ndim != 2:
+        raise ValueError(f"expected a 2-D (clients x params) stack, got {stack.shape}")
+    weights = _normalized_weights(stack.shape[0], weights)
+    np.multiply(stack, weights[:, None], out=stack)
+    if out is None:
+        out = np.empty(stack.shape[1], dtype=stack.dtype)
+    np.add.reduce(stack, axis=0, out=out)
+    np.add(out, 0.0, out=out)
+    return out
 
 
 def staleness_weight(staleness: int, exponent: float = 0.5) -> float:
@@ -140,6 +186,51 @@ def mix_states(
             buf += alpha * value
             result[key] = buf
     return result
+
+
+def mix_flat(
+    base: np.ndarray,
+    incoming: np.ndarray,
+    alpha: float,
+    out: np.ndarray,
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """Flat-slab ``(1 - α)·base + α·incoming`` (see :func:`mix_states`).
+
+    Replays the dict path's buffered sequence — ``multiply(base, 1-α)``
+    then ``+= α·incoming`` — over the whole slab. ``out`` and ``scratch``
+    must not alias ``base`` or ``incoming``.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    np.multiply(base, 1.0 - alpha, out=out)
+    np.multiply(incoming, alpha, out=scratch)
+    np.add(out, scratch, out=out)
+    return out
+
+
+def apply_delta_flat(
+    base: np.ndarray,
+    delta: np.ndarray,
+    lr: float,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Flat-slab ``base + lr·delta`` (see :func:`apply_delta`).
+
+    Same buffered sequence as the dict path: ``multiply(delta, lr)`` into
+    ``out``, then ``add(base, out)``. ``out`` must not alias ``base``.
+    """
+    np.multiply(delta, lr, out=out)
+    np.add(base, out, out=out)
+    return out
+
+
+def subtract_flat(
+    minuend: np.ndarray, base: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Flat-slab ``minuend − base`` (see :func:`subtract_states`)."""
+    np.subtract(minuend, base, out=out)
+    return out
 
 
 def apply_delta(

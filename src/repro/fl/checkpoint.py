@@ -2,11 +2,16 @@
 
 Long campaigns (the `paper` scale runs for days in NumPy) need restart
 safety. A *synchronous* checkpoint captures the global model state, the
-round index and the run history; resuming reconstructs the server and
-continues ``run_federated_training`` from the next round. Synchronous
-client-side RNG states are *not* captured, so a resumed sync run is
-statistically equivalent but not bitwise identical to an uninterrupted one
-— the docstring of :func:`resume_federated_training` spells this out.
+round index and the run history — and, when written from inside the loop
+(format 2), the sync *runtime*: the participation-sampling RNG stream and
+every client's RNG stream, in client order.
+:func:`resume_sync_federated_training` restores those streams and
+continues at the next absolute round, so the resumed run is **bitwise
+identical** to an uninterrupted one — same participant draws, same
+selection scores, same weights, same evaluation cadence. Checkpoints
+without the runtime (format 1, or saved outside the loop) resume through
+:func:`resume_federated_training`, which is statistically equivalent but
+not bitwise identical.
 
 *Asynchronous* (`EventLog`) runs checkpoint strictly stronger state: the
 virtual clock, the scheduler and per-client RNG streams, the pending event
@@ -26,7 +31,10 @@ inherited); and the server state itself is written as one full *base*
 generation plus per-save deltas of the keys whose content digests changed
 — after round 0 that is just θ, so a tight-cadence save rewrites the
 manifest, the changed head and the (bounded) FedBuff buffer, strictly
-below O(model). A torn trailing journal line from a crash mid-append sits beyond
+below O(model). A slab-backed server state (format 4, see
+:mod:`repro.fl.slab`) digests and delta-encodes the whole θ block as the
+*single* ``theta_slab`` array instead of per-key npz entries; the
+manifest records the packing so load expands it back to named arrays. A torn trailing journal line from a crash mid-append sits beyond
 the committed byte offset and is ignored on load and truncated on the
 next save; :func:`compact_async_checkpoint` rewrites the directory from
 scratch. See DESIGN.md ("Async checkpoint format").
@@ -51,10 +59,12 @@ from repro.fl.rounds import (
 )
 from repro.fl.sampling import ParticipationModel
 from repro.fl.server import Server
+from repro.fl.slab import SlabLayout
 from repro.fl.timing import TimingModel
 from repro.nn.serialization import load_state, save_state
 from repro.obs import tracing
 from repro.obs.metrics import export_group
+from repro.utils import make_rng
 
 #: checkpoint runtime counters (module-level: saves happen inside the
 #: engine loop, far from any session object; the registry picks the
@@ -82,11 +92,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
     from repro.engine.runner import AsyncRunState
 
 
-def save_checkpoint(path: str, server: Server, history: TrainingHistory) -> None:
-    """Write the global model and run history under ``path`` (a directory)."""
+def save_checkpoint(
+    path: str,
+    server: Server,
+    history: TrainingHistory,
+    clients: list[Client] | None = None,
+    sampling_rng: np.random.Generator | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Write the global model and run history under ``path`` (a directory).
+
+    With ``clients`` and ``sampling_rng`` (the loop's own participation
+    stream), the checkpoint additionally captures the synchronous runtime
+    — every RNG stream a round consumes, in client order — which promotes
+    the resume from statistically-equivalent to bitwise-exact (format 2;
+    see :func:`resume_sync_federated_training`). ``meta`` carries the loop
+    parameters the exact resume needs (total rounds, eval cadence, seed,
+    client count); ``run_federated_training`` supplies all of this when
+    saving from inside the loop. The history file is swapped in with an
+    atomic replace, so a crash mid-save leaves the previous checkpoint
+    loadable.
+    """
     os.makedirs(path, exist_ok=True)
     save_state(os.path.join(path, "global_state.npz"), server.global_state)
     payload = {
+        "format": 2,
         "round_index": server.round_index,
         "records": [
             {
@@ -102,14 +132,31 @@ def save_checkpoint(path: str, server: Server, history: TrainingHistory) -> None
             for r in history.records
         ],
     }
-    with open(os.path.join(path, "history.json"), "w") as handle:
+    if clients is not None and sampling_rng is not None:
+        payload["sync_runtime"] = {
+            "sampling_rng_state": _jsonable(sampling_rng.bit_generator.state),
+            "client_rng_states": [
+                _jsonable(client.rng.bit_generator.state) for client in clients
+            ],
+            # The loop's round counter, not ``server.round_index``: rounds
+            # with an empty participant set advance the loop but not the
+            # server's aggregation count.
+            "rounds_completed": (
+                history.records[-1].round_index if history.records else 0
+            ),
+            "meta": dict(meta or {}),
+        }
+    history_path = os.path.join(path, "history.json")
+    staging = history_path + ".tmp"
+    with open(staging, "w") as handle:
         json.dump(payload, handle)
+    os.replace(staging, history_path)
 
 
 def load_checkpoint(path: str, server: Server) -> TrainingHistory:
     """Restore the global model into ``server`` and return the history."""
     state = load_state(os.path.join(path, "global_state.npz"))
-    server.global_state = state
+    server.set_global_state(state)
     server.model.load_state_dict(state)
     with open(os.path.join(path, "history.json")) as handle:
         payload = json.load(handle)
@@ -147,9 +194,13 @@ def resume_federated_training(
 
     The resumed run is statistically equivalent to the original (same
     global model, same remaining round count) but not bitwise identical:
-    per-client generator states are not part of the checkpoint. Records
-    from the checkpoint and the continuation are concatenated, with the
-    continuation's round indices and cumulative times offset to follow on.
+    this path re-seeds fresh RNG streams instead of restoring the
+    checkpointed ones. It works for any sync checkpoint, including legacy
+    format-1 directories; for checkpoints written from inside the training
+    loop, :func:`resume_sync_federated_training` is the bitwise-exact
+    resume. Records from the checkpoint and the continuation are
+    concatenated, with the continuation's round indices and cumulative
+    times offset to follow on.
     """
     history = load_checkpoint(path, server)
     done = server.round_index
@@ -184,6 +235,83 @@ def resume_federated_training(
     return history
 
 
+def resume_sync_federated_training(
+    path: str,
+    server: Server,
+    clients: list[Client],
+    participation: ParticipationModel | None = None,
+    timing: TimingModel | None = None,
+    backend: "ExecutionBackend | None" = None,
+    verbose: bool = False,
+    feature_runtime=None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    on_round=None,
+) -> TrainingHistory:
+    """Continue a format-2 sync checkpoint **bitwise identically**.
+
+    Restores the global model, the run history, the participation-sampling
+    RNG stream and every client's RNG stream from the checkpoint, then
+    continues ``run_federated_training`` at the next absolute round with
+    the original total-round count and evaluation cadence from the
+    checkpoint's metadata. A run killed between rounds and resumed this
+    way reproduces the uninterrupted run's participant draws, selection
+    scores, accuracies and final weights byte for byte.
+
+    The caller rebuilds the federation (server, clients, participation,
+    timing) from the same configuration as the original run; everything
+    the loop *mutates* comes from the checkpoint. Raises ``ValueError``
+    for checkpoints without the sync runtime (saved by format-1 code or
+    outside the loop) — those resume through
+    :func:`resume_federated_training` instead.
+    """
+    with open(os.path.join(path, "history.json")) as handle:
+        payload = json.load(handle)
+    runtime = payload.get("sync_runtime")
+    if runtime is None:
+        raise ValueError(
+            "checkpoint has no sync runtime (format 1, or saved outside "
+            "the training loop); use resume_federated_training for a "
+            "statistical resume"
+        )
+    if len(runtime["client_rng_states"]) != len(clients):
+        raise ValueError(
+            f"checkpoint was written with "
+            f"{len(runtime['client_rng_states'])} clients but "
+            f"{len(clients)} were provided"
+        )
+    history = load_checkpoint(path, server)
+    for client, rng_state in zip(clients, runtime["client_rng_states"]):
+        client.rng.bit_generator.state = _unjsonable(rng_state)
+    sampling_rng = make_rng(0)
+    sampling_rng.bit_generator.state = _unjsonable(
+        runtime["sampling_rng_state"]
+    )
+    meta = runtime.get("meta") or {}
+    rounds = int(meta["rounds"])
+    done = int(runtime["rounds_completed"])
+    if done >= rounds:
+        return history
+    return run_federated_training(
+        server,
+        clients,
+        rounds=rounds,
+        seed=int(meta.get("seed", 0)),
+        participation=participation,
+        timing=timing,
+        eval_every=int(meta.get("eval_every", 1)),
+        backend=backend,
+        verbose=verbose,
+        feature_runtime=feature_runtime,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        on_round=on_round,
+        history=history,
+        start_round=done,
+        sampling_rng=sampling_rng,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Asynchronous (EventLog) checkpoints
 # ---------------------------------------------------------------------------
@@ -195,6 +323,9 @@ _ASYNC_STATE_FILE = "async_state.json"
 _ASYNC_JOURNAL_PREFIX = "async_events"
 #: npz key separator; parameter names are dotted paths and never contain it
 _SEP = "::"
+#: delta-npz entry holding a slab-backed server state's whole θ block as
+#: one flat array (format 4); dotted parameter paths can never collide
+_THETA_SLAB_KEY = "__theta_slab__"
 #: payload files are generation-suffixed: async_<payload>-<generation>.npz
 _ASYNC_PAYLOADS = ("server", "snapshots", "buffer")
 
@@ -378,15 +509,22 @@ def _encode_server(
     falls back to a fresh full base — a self-contained two-file encoding,
     never a generation chain, so load needs exactly one base + one delta.
 
-    Per-save *CPU* deliberately stays O(model): every key is re-digested
-    because change detection must be content-based — the aggregation
-    paths recycle θ buffers in place (``Server._theta_scratch``,
+    Per-save *CPU* deliberately stays content-based: change detection
+    re-digests the current bytes because the aggregation paths recycle θ
+    buffers in place (``Server._theta_scratch``,
     ``AsyncAggregator.recycle``), so an array object's identity says
     nothing about its bytes and an identity-memoized digest would
-    silently inherit stale values. What the encoding shrinks is the
-    fsync'd *write* path (bytes + durability), which dominates a save.
+    silently inherit stale values. A slab-backed server state (format 4)
+    digests — and, when changed, writes — the whole θ block as the one
+    ``theta_slab`` array: one pass over the same bytes instead of a
+    per-key walk, and one npz entry instead of one per parameter. What
+    the encoding shrinks either way is the fsync'd *write* path (bytes +
+    durability), which dominates a save.
     """
     delta_file = f"async_server-{generation}.npz"
+    server_state = state.server_state
+    slab = getattr(server_state, "theta_slab", None)
+    layout = server_state.layout if slab is not None else None
     base_entry = None if full else (previous or {}).get("server_base")
     if base_entry is not None and not os.path.exists(
         os.path.join(path, base_entry["file"])
@@ -394,22 +532,36 @@ def _encode_server(
         base_entry = None
     if base_entry is None:
         base_file = f"async_server_base-{generation}.npz"
-        base_entry = {
-            "file": base_file,
-            "digests": {
-                key: _array_digest(value)
-                for key, value in state.server_state.items()
-            },
+        digests = {
+            key: _array_digest(value) for key, value in server_state.items()
         }
-        save_state(os.path.join(path, base_file), state.server_state)
+        if slab is not None:
+            # The base keeps per-key digests too (a later save may carry a
+            # plain-dict state, e.g. after an in-process resume), but the
+            # slab digest is what every slab-era save compares against.
+            digests[_THETA_SLAB_KEY] = _array_digest(slab)
+        base_entry = {"file": base_file, "digests": digests}
+        save_state(os.path.join(path, base_file), server_state)
         _fsync_file(os.path.join(path, base_file))
         delta: dict[str, np.ndarray] = {}
-        inherited = list(state.server_state)
+        inherited = list(server_state)
     else:
         digests = base_entry["digests"]
         delta = {}
         inherited = []
-        for key, value in state.server_state.items():
+        slab_keys = (
+            frozenset(layout.keys)
+            if slab is not None and _THETA_SLAB_KEY in digests
+            else frozenset()
+        )
+        if slab_keys:
+            if digests[_THETA_SLAB_KEY] == _array_digest(slab):
+                inherited.extend(layout.keys)
+            else:
+                delta[_THETA_SLAB_KEY] = slab
+        for key, value in server_state.items():
+            if key in slab_keys:
+                continue
             if digests.get(key) == _array_digest(value):
                 inherited.append(key)
             else:
@@ -519,7 +671,7 @@ def _save_async_checkpoint(
         },
     )
     payload = {
-        "format": 3,
+        "format": 4,
         "generation": generation,
         "files": files,
         "journal": journal,
@@ -527,6 +679,16 @@ def _save_async_checkpoint(
         "server_base": server_base,
         "server_inherits": server_inherits,
         "server_keys": list(state.server_state),
+        # θ packing of a slab-backed server state: load needs it to expand
+        # a __theta_slab__ delta back into named arrays.
+        "server_slab": (
+            [
+                [key, list(shape)]
+                for key, shape in state.server_state.layout.signature
+            ]
+            if getattr(state.server_state, "theta_slab", None) is not None
+            else None
+        ),
         "clock_now": state.clock_now,
         "scheduler_rng_state": _jsonable(state.scheduler_rng_state),
         "idle_rng_states": {
@@ -626,16 +788,32 @@ def load_async_checkpoint(path: str) -> "AsyncRunState":
         payload = json.load(handle)
     files = payload["files"]
     if "server_base" in payload:
-        # Base + delta encoding (format 3): inherited keys come from the
-        # base generation's full payload, changed keys from the delta.
+        # Base + delta encoding (format 3+): inherited keys come from the
+        # base generation's full payload, changed keys from the delta. A
+        # format-4 slab delta carries the whole changed θ block as one
+        # flat array, expanded here per the manifest's recorded packing.
         base = load_state(os.path.join(path, payload["server_base"]["file"]))
         delta = load_state(os.path.join(path, files["server"]))
+        slab_flat = delta.pop(_THETA_SLAB_KEY, None)
+        slab_views: dict[str, np.ndarray] = {}
+        if slab_flat is not None:
+            layout = SlabLayout(
+                [
+                    (key, tuple(int(d) for d in shape))
+                    for key, shape in payload["server_slab"]
+                ]
+            )
+            slab_views = layout.views(slab_flat)
         inherited = set(payload["server_inherits"])
         order = payload.get("server_keys") or (
-            payload["server_inherits"] + sorted(delta)
+            payload["server_inherits"] + sorted(delta) + sorted(slab_views)
         )
         server_state = {
-            key: (delta[key] if key not in inherited else base[key])
+            key: (
+                base[key]
+                if key in inherited
+                else delta[key] if key in delta else slab_views[key]
+            )
             for key in order
         }
     else:  # legacy format: the server payload is the full state dict
@@ -751,7 +929,7 @@ def resume_async_federated_training(
             f"checkpoint was written with {state.meta['num_clients']} "
             f"clients but {len(clients)} were provided"
         )
-    server.global_state = state.server_state
+    server.set_global_state(state.server_state)
     server.model.load_state_dict(state.server_state)
     server.round_index = state.server_round_index
     return run_async_federated_training(

@@ -50,6 +50,7 @@ STATS = export_group(
         "fused_solves": 0,
         "graph_solves": 0,
         "theta_fast_loads": 0,
+        "theta_slab_loads": 0,
         "fused_eval_shards": 0,
         "graph_eval_shards": 0,
     },
@@ -169,6 +170,50 @@ class BoundHead:
         plan.theta_map = mapping
         return mapping
 
+    def _plan_theta_layout(self):
+        """The plan's θ packing as a :class:`~repro.fl.slab.SlabLayout`.
+
+        Built (and validated) once per plan: the layout packs the θ keys
+        in ``theta_keys`` order with the module's shared alignment rule,
+        so when its offsets coincide with the plan's own slot offsets —
+        the common case, since ``named_parameters`` yields weight-then-
+        bias in chain order, exactly the plan's packing order — a server
+        slab and the plan's ``_data_flat`` are offset-identical and θ
+        moves as one memcpy. Returns None (cached) when the orders
+        diverge; callers then stay on the per-key path.
+        """
+        plan = self.plan
+        if plan.theta_layout is not None:
+            return plan.theta_layout or None
+        mapping = plan.theta_map
+        if not mapping:  # unbuilt (None) or unusable (()); don't cache unbuilt
+            if mapping == ():
+                plan.theta_layout = ()
+            return None
+        from repro.fl.slab import SlabLayout
+
+        layers = self.layers
+        layout = SlabLayout(
+            [
+                (
+                    name,
+                    (layers[i].weight if attr == "w" else layers[i].bias)
+                    .data.shape,
+                )
+                for name, i, attr in mapping
+            ]
+        )
+        slot_offsets = {
+            (i, attr): offset
+            for (i, attr), offset in zip(plan.trainable_slots, plan.slot_offsets)
+        }
+        aligned = layout.total == plan.slot_total and all(
+            layout.offsets[j] == slot_offsets[(i, attr)]
+            for j, (_, i, attr) in enumerate(mapping)
+        )
+        plan.theta_layout = layout if aligned else ()
+        return plan.theta_layout or None
+
     def load_theta(
         self, model: SegmentedModel, global_state: dict[str, np.ndarray]
     ) -> bool:
@@ -176,14 +221,29 @@ class BoundHead:
 
         Copies each communicated array straight into its bound parameter —
         the exact writes ``load_state_dict(θ, strict=False)`` performs,
-        without rebuilding the name→parameter maps every round. Returns
-        False (caller falls back to the generic load) when the θ key set
-        is not exactly the fused chain's trainable parameters.
+        without rebuilding the name→parameter maps every round. When the
+        broadcast is a :class:`~repro.fl.slab.SlabState` whose packing
+        matches the plan's (verified once per plan), the whole load is a
+        single memcpy into the plan's flat parameter slab instead.
+        Returns False (caller falls back to the generic load) when the θ
+        key set is not exactly the fused chain's trainable parameters.
         """
         mapping = self._theta_map(model)
         if mapping is None:
             return False
         layers = self.layers
+        slab = getattr(global_state, "theta_slab", None)
+        if slab is not None:
+            layout = self._plan_theta_layout()
+            if (
+                layout is not None
+                and layout.signature == global_state.layout.signature
+            ):
+                plan = self.plan
+                plan.adopt_params(layers)
+                plan._data_flat[...] = slab
+                STATS["theta_slab_loads"] += 1
+                return True
         for name, i, attr in mapping:
             layer = layers[i]
             param = layer.weight if attr == "w" else layer.bias
@@ -199,12 +259,28 @@ class BoundHead:
         """Copy of the communicated θ, bitwise equal to ``theta_state``.
 
         Same keys in the same order (the map is built from
-        ``theta_keys``); None when the map is unusable.
+        ``theta_keys``); None when the map is unusable. When the plan's
+        packing admits a slab layout, the snapshot is returned as a
+        :class:`~repro.fl.slab.SlabState` — the same values, but the
+        server can then stack the update into its aggregation matrix by
+        row memcpy instead of a per-key gather.
         """
         mapping = self._theta_map(model)
         if mapping is None:
             return None
         layers = self.layers
+        layout = self._plan_theta_layout()
+        if layout is not None:
+            from repro.fl.slab import SlabState
+
+            plan = self.plan
+            plan.adopt_params(layers)
+            flat = plan._data_flat.copy()
+            snap = SlabState()
+            snap.layout = layout
+            snap.theta_slab = flat
+            snap.update(layout.views(flat))
+            return snap
         return {
             name: (layers[i].weight if attr == "w" else layers[i].bias).data.copy()
             for name, i, attr in mapping
@@ -224,16 +300,23 @@ def make_plan(signature: tuple, feature_shape: tuple) -> FusedHeadPlan | None:
 
 
 def bind_head(
-    model: SegmentedModel, feature_shape: tuple, cache: dict | None = None
+    model: SegmentedModel,
+    feature_shape: tuple,
+    cache: dict | None = None,
+    eval_mode: bool = False,
 ) -> BoundHead | None:
     """Bind the model's head if fusible; plans come from ``cache`` if given.
 
     ``cache`` maps ``(signature, feature_shape)`` to a plan, or to ``None``
     for a remembered planning failure (a key never tried is simply
     absent); callers own the cache's lifetime — the worker-side evaluation
-    path keys one per template segment.
+    path keys one per template segment. ``eval_mode`` admits the wider
+    inference-only op set (eval-mode BN as a precomputed affine, dropout
+    as identity, convs and pools as module calls); the resulting plan
+    refuses training entry points unless its signature happens to equal a
+    train-mode one, in which case the cache naturally shares the plan.
     """
-    layers, signature = head_ops(model)
+    layers, signature = head_ops(model, eval_mode=eval_mode)
     if layers is None:
         return None
     key = (signature, tuple(feature_shape))

@@ -103,6 +103,12 @@ def run_federated_training(
     backend: "ExecutionBackend | None" = None,
     verbose: bool = False,
     feature_runtime=None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    on_round=None,
+    history: TrainingHistory | None = None,
+    start_round: int = 0,
+    sampling_rng: np.random.Generator | None = None,
 ) -> TrainingHistory:
     """Run ``rounds`` communication rounds of Algorithm 1.
 
@@ -122,16 +128,37 @@ def run_federated_training(
     A round whose participant set is empty (availability churn — e.g.
     :class:`~repro.fl.sampling.BernoulliParticipation`) skips aggregation
     and is recorded as a zero-participant round.
+
+    With ``checkpoint_path`` and ``checkpoint_every > 0``, a synchronous
+    checkpoint — global state, history, the sampling RNG stream and every
+    client's RNG stream — is written every ``checkpoint_every`` rounds;
+    :func:`repro.fl.checkpoint.resume_sync_federated_training` continues
+    an interrupted run to the bitwise-identical history and weights.
+    ``on_round`` is called after each round (after any checkpoint write);
+    an exception it raises aborts the run — the kill-and-resume hook.
+
+    ``history``, ``start_round`` and ``sampling_rng`` are the resume
+    plumbing (internal): the loop continues an existing history from
+    absolute round ``start_round + 1`` up to ``rounds`` with a restored
+    sampling stream, so round numbering, the evaluation cadence
+    (``round_index % eval_every == 0 or round_index == rounds``) and every
+    RNG draw line up with the uninterrupted run.
     """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
     if not clients:
         raise ValueError("client pool is empty")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be non-negative")
+    if checkpoint_every and not checkpoint_path:
+        raise ValueError("checkpoint_every requires a checkpoint_path")
+    if not 0 <= start_round <= rounds:
+        raise ValueError(f"start_round must be in [0, {rounds}]")
     participation = participation or FullParticipation()
-    sampling_rng = make_rng(seed)
-    history = TrainingHistory()
-    cumulative_seconds = 0.0
-    for round_index in range(1, rounds + 1):
+    sampling_rng = sampling_rng if sampling_rng is not None else make_rng(seed)
+    history = history if history is not None else TrainingHistory()
+    cumulative_seconds = history.total_client_seconds
+    for round_index in range(start_round + 1, rounds + 1):
         chosen = participation.participants(
             round_index, len(clients), sampling_rng
         )
@@ -186,4 +213,27 @@ def run_federated_training(
                 f"participants={len(chosen)} "
                 f"selected={record.selected_samples}"
             )
+        if (
+            checkpoint_path
+            and checkpoint_every > 0
+            and round_index % checkpoint_every == 0
+        ):
+            # Local import: fl.checkpoint imports this module for resume.
+            from repro.fl.checkpoint import save_checkpoint
+
+            save_checkpoint(
+                checkpoint_path,
+                server,
+                history,
+                clients=clients,
+                sampling_rng=sampling_rng,
+                meta={
+                    "rounds": rounds,
+                    "eval_every": eval_every,
+                    "seed": seed,
+                    "num_clients": len(clients),
+                },
+            )
+        if on_round is not None:
+            on_round(record)
     return history

@@ -5,9 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.fl.aggregation import weighted_average
+from repro.fl.aggregation import weighted_average, weighted_average_flat
+from repro.fl.fastpath import bind_head
 from repro.fl.features import batched_head_logits, compute_features
 from repro.fl.selection import batched_logits
+from repro.fl.slab import SlabLayout, make_slab_state, slab_successor
 from repro.fl.strategies import LocalUpdate
 from repro.nn import functional as F
 from repro.nn.segmented import SegmentedModel
@@ -45,6 +47,15 @@ class Server:
         self.model = model
         self.test_set = test_set
         self.global_state = model.state_dict()
+        #: θ packing for the flat-slab fast lane; None when the model's
+        #: communicated θ cannot live in one float64 slab (then every
+        #: path below stays on the per-key dict walk)
+        layout = SlabLayout.for_state(self.global_state, theta_keys(model))
+        self._slab_layout = layout if layout is not None and layout.keys else None
+        if self._slab_layout is not None:
+            self.global_state = make_slab_state(
+                self.global_state, self._slab_layout
+            )
         self.round_index = 0
         self.cache_features = cache_features
         #: pooled-evaluation hook; attached by campaign runtimes
@@ -66,6 +77,8 @@ class Server:
                 "full_loads": 0,
                 "theta_loads": 0,
                 "feature_builds": 0,
+                "fused_evals": 0,
+                "graph_evals": 0,
             },
         )
         # Alternating θ accumulators for aggregate(): the buffer written
@@ -73,7 +86,13 @@ class Server:
         # global_state, so it can be reused without touching anything a
         # broadcast snapshot might still alias (see repro.fl.aggregation).
         self._theta_scratch: list[dict | None] = [None, None]
+        self._slab_scratch: list[np.ndarray | None] = [None, None]
         self._scratch_flip = 0
+        #: (clients × params) aggregation matrix, grown to the largest
+        #: cohort seen; rows are consumed as scratch by the flat kernel
+        self._stack_scratch: np.ndarray | None = None
+        #: server-side fused eval plans, keyed like the worker-side caches
+        self._eval_plans: dict = {}
 
     def broadcast(self) -> dict[str, np.ndarray]:
         """State sent to clients this round (full model; only θ changes)."""
@@ -89,10 +108,42 @@ class Server:
             p.size for _, p in self.model.named_parameters() if p.requires_grad
         )
 
+    def set_global_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install ``state`` as the current global model version.
+
+        Re-homes θ into a fresh slab when the server is slab-backed and the
+        state fits the layout (checkpoint resume hands plain dicts back);
+        anything else is installed as-is and the per-key paths take over.
+        """
+        layout = self._slab_layout
+        if (
+            layout is not None
+            and getattr(state, "theta_slab", None) is None
+            and all(
+                isinstance(state.get(key), np.ndarray)
+                and state[key].shape == shape
+                and state[key].dtype == np.float64
+                for key, shape in layout.signature
+            )
+        ):
+            state = make_slab_state(dict(state), layout)
+        self.global_state = state
+
     def aggregate(self, updates: list[LocalUpdate]) -> None:
-        """Fuse client θ's weighted by selected counts and refresh ϕ∪θ."""
+        """Fuse client θ's weighted by selected counts and refresh ϕ∪θ.
+
+        When the global state is slab-backed and every update's θ matches
+        the layout, the whole Eq. 5 average runs as one ufunc pair over a
+        (clients × params) stack — bitwise identical to the per-key walk
+        (see :func:`repro.fl.aggregation.weighted_average_flat`). Any
+        mismatch falls back to the dict path, which also defines the error
+        behaviour for malformed updates.
+        """
         if not updates:
             raise ValueError("no client updates to aggregate")
+        if self._aggregate_slab(updates):
+            self.round_index += 1
+            return
         theta = weighted_average(
             [u.theta for u in updates],
             [u.num_selected for u in updates],
@@ -104,6 +155,39 @@ class Server:
         merged.update(theta)
         self.global_state = merged
         self.round_index += 1
+
+    def _aggregate_slab(self, updates: list[LocalUpdate]) -> bool:
+        """The one-ufunc aggregation fast lane; False → use the dict walk."""
+        base = self.global_state
+        layout: SlabLayout | None = getattr(base, "layout", None)
+        if layout is None:
+            return False
+        n = len(updates)
+        stack = self._stack_scratch
+        if (
+            stack is None
+            or stack.shape[0] < n
+            or stack.shape[1] != layout.total
+        ):
+            stack = self._stack_scratch = np.empty((n, layout.total))
+        rows = stack[:n]
+        for j, update in enumerate(updates):
+            theta = update.theta
+            slab = getattr(theta, "theta_slab", None)
+            if slab is not None and theta.layout.signature == layout.signature:
+                rows[j] = slab  # row memcpy: packing is offset-identical
+            elif layout.matches(theta):
+                layout.gather(theta, rows[j])
+            else:
+                return False
+        out = self._slab_scratch[self._scratch_flip]
+        if out is None or len(out) != layout.total:
+            out = np.empty(layout.total)
+        weighted_average_flat(rows, [u.num_selected for u in updates], out=out)
+        self._slab_scratch[self._scratch_flip] = out
+        self._scratch_flip ^= 1
+        self.global_state = slab_successor(base, out, layout)
+        return True
 
     def invalidate_resident_model(self) -> None:
         """Force the next local evaluation to reload the full state.
@@ -160,7 +244,19 @@ class Server:
                 compute_features(self.model, x, batch_size),
             )
             self.eval_stats["feature_builds"] += 1
-        logits = batched_head_logits(
-            self.model, self._test_features[1], batch_size
+        features = self._test_features[1]
+        labels = self.test_set.labels
+        bound = bind_head(
+            self.model, features.shape[1:], cache=self._eval_plans,
+            eval_mode=True,
         )
-        return F.accuracy(logits, self.test_set.labels)
+        if bound is not None and len(labels):
+            # Same chunking as batched_head_logits; integer correct/total
+            # is bitwise equal to F.accuracy (exact int sums < 2^53, one
+            # IEEE division either way).
+            self.eval_stats["fused_evals"] += 1
+            correct = bound.correct_count(features, labels, batch_size)
+            return correct / len(labels)
+        self.eval_stats["graph_evals"] += 1
+        logits = batched_head_logits(self.model, features, batch_size)
+        return F.accuracy(logits, labels)

@@ -1,0 +1,179 @@
+"""Flat-slab server θ: every model version as one contiguous float64 array.
+
+:class:`FusedHeadPlan` (PR 5) proved θ can live as views into flat storage
+on the client; this module promotes that representation to the *server*.
+A :class:`SlabLayout` packs the communicated θ keys — in ``theta_keys``
+order, 64-byte aligned via the same :func:`repro.nn.fused.aligned_slot_layout`
+the plans use — and a :class:`SlabState` is a plain ``dict`` state whose θ
+entries are views into one flat slab (``theta_slab``). Because it *is* a
+dict, every existing consumer (``load_state_dict``, ``theta_keys`` walks,
+checkpoints, pickling) keeps working unchanged; the slab is a fast lane:
+
+- aggregation collapses to one ufunc over a (clients × params) stack
+  (:func:`repro.fl.aggregation.weighted_average_flat` and friends),
+- server→client broadcast becomes a memcpy into a plan's ``_data_flat``
+  (offset-identical packing) or into a shm slot's θ block,
+- async checkpoints delta-encode the single ``theta_slab`` array instead
+  of per-key npz entries.
+
+Padding between slots is zero-initialised and every slab kernel maps
+``0 → +0``, so pad lanes never contaminate θ lanes. Pickling a SlabState
+degrades it to a plain dict (workers and old checkpoints see exactly what
+they always saw); ϕ entries are held by reference and shared across
+versions, exactly like the dict path's ``dict(base)`` copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.fused import aligned_slot_layout
+
+
+class SlabLayout:
+    """Packing of named θ arrays into one aligned float64 slab.
+
+    Keys keep their *given* order (``theta_keys`` order — NOT sorted):
+    ``named_parameters`` yields weight-then-bias per layer in chain order,
+    which is exactly the slot order :class:`~repro.nn.fused.FusedHeadPlan`
+    packs, so a slab and a plan's ``_data_flat`` are offset-identical and
+    broadcasts are a single memcpy.
+    """
+
+    __slots__ = ("keys", "shapes", "offsets", "sizes", "total", "signature")
+
+    def __init__(self, items: Sequence[tuple[str, tuple[int, ...]]]):
+        self.keys = tuple(key for key, _ in items)
+        self.shapes = tuple(tuple(int(d) for d in shape) for _, shape in items)
+        offsets, total = aligned_slot_layout(self.shapes)
+        self.offsets = tuple(offsets)
+        self.sizes = tuple(
+            int(np.prod(shape)) if len(shape) else 1 for shape in self.shapes
+        )
+        self.total = max(total, 1)  # zero-length slabs still allocate
+        #: hashable identity: equal signatures ⇔ identical packing
+        self.signature = tuple(zip(self.keys, self.shapes))
+
+    @classmethod
+    def for_state(
+        cls, state: dict[str, np.ndarray], theta: Iterable[str]
+    ) -> "SlabLayout | None":
+        """Layout over ``theta`` keys of ``state``; None when unsuitable.
+
+        The slab is float64-only (the project's universal dtype); any
+        other dtype — or a missing key — declines, and callers stay on
+        the dict path.
+        """
+        items = []
+        for key in theta:
+            value = state.get(key)
+            if not isinstance(value, np.ndarray) or value.dtype != np.float64:
+                return None
+            items.append((key, value.shape))
+        return cls(items)
+
+    def views(self, slab: np.ndarray) -> dict[str, np.ndarray]:
+        """Named views of ``slab`` per the layout (no copies)."""
+        return {
+            key: slab[offset : offset + size].reshape(shape)
+            for key, shape, offset, size in zip(
+                self.keys, self.shapes, self.offsets, self.sizes
+            )
+        }
+
+    def matches(self, state: dict[str, np.ndarray]) -> bool:
+        """True when ``state`` is exactly this layout's keys with the packed
+        shapes, all float64 — i.e. :meth:`gather` reproduces it losslessly
+        and the flat kernels are bitwise equivalent to the per-key walk
+        (no dtype-promotion edge cases)."""
+        if len(state) != len(self.keys):
+            return False
+        for key, shape in self.signature:
+            value = state.get(key)
+            if (
+                not isinstance(value, np.ndarray)
+                or value.shape != shape
+                or value.dtype != np.float64
+            ):
+                return False
+        return True
+
+    def gather(self, state: dict[str, np.ndarray], out: np.ndarray) -> np.ndarray:
+        """Copy ``state``'s θ values into the flat ``out`` per the layout.
+
+        Pad lanes are zeroed explicitly so a recycled scratch row holds
+        the same bytes a fresh slab would.
+        """
+        end = 0
+        for key, shape, offset, size in zip(
+            self.keys, self.shapes, self.offsets, self.sizes
+        ):
+            if offset > end:
+                out[end:offset] = 0.0
+            out[offset : offset + size].reshape(shape)[...] = state[key]
+            end = offset + size
+        if end < len(out):
+            out[end:] = 0.0
+        return out
+
+
+class SlabState(dict):
+    """A model state dict whose θ entries are views into ``theta_slab``.
+
+    Subclasses ``dict`` so every dict consumer works untouched; pickling
+    (:meth:`__reduce__`) degrades to a plain dict of standalone arrays —
+    process-backend workers and checkpoint payloads never see the slab
+    unless they ask for it.
+    """
+
+    __slots__ = ("theta_slab", "layout")
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
+
+
+def make_slab_state(
+    state: dict[str, np.ndarray],
+    layout: SlabLayout,
+    slab: np.ndarray | None = None,
+) -> SlabState:
+    """A :class:`SlabState` copy of ``state`` with θ gathered into a slab.
+
+    ϕ entries (keys outside the layout) are carried by reference — they
+    are immutable for the campaign, exactly as ``dict(base)`` copies
+    share them on the dict path. ``slab`` optionally supplies a retired
+    flat to reuse (a model version nothing reads any more).
+    """
+    if slab is None:
+        slab = np.zeros(layout.total)  # recycled flats: gather() re-zeroes pads
+    result = SlabState(state)
+    result.layout = layout
+    result.theta_slab = slab
+    layout.gather(state, slab)
+    result.update(layout.views(slab))
+    return result
+
+
+def slab_successor(
+    base: dict[str, np.ndarray],
+    slab: np.ndarray,
+    layout: SlabLayout | None = None,
+) -> SlabState:
+    """A new model version around an already-computed ``slab``.
+
+    ϕ entries pass through by reference from ``base``; θ entries become
+    views of ``slab``. This is the aggregation epilogue: the flat kernels
+    produced ``slab``, and the result is a *fresh dict object* (identity
+    checks like the process backend's ``slot.state is global_state``
+    rely on one dict per model version). ``layout`` defaults to ``base``'s
+    own (``base`` need not be slab-backed when one is given).
+    """
+    if layout is None:
+        layout = base.layout
+    result = SlabState(base)
+    result.layout = layout
+    result.theta_slab = slab
+    result.update(layout.views(slab))
+    return result

@@ -42,13 +42,36 @@ kernel replays the graph's exact operation sequence:
 
 Fusibility
 ----------
-A head is fusible when the trainable part θ flattens to a chain of
-``Linear`` / ``ReLU`` / ``Flatten`` / ``GlobalAvgPool2d`` (plus
+A head is fusible for *training* when the trainable part θ flattens to a
+chain of ``Linear`` / ``ReLU`` / ``Flatten`` / ``GlobalAvgPool2d`` (plus
 ``Dropout(p=0)``, an RNG-free identity). Anything else — dropout with
 ``p > 0`` (consumes RNG in train mode), BatchNorm (mode- and
 batch-dependent), convolutions, residual blocks — makes
 :func:`head_ops` return ``None`` and callers fall back to the layer
 graph, which remains the semantic reference.
+
+For *evaluation* (``head_ops(model, eval_mode=True)``) the chain may
+additionally contain eval-mode BatchNorm (fused as the running-statistics
+affine, replaying :class:`~repro.nn.norm._BatchNorm`'s eval sequence op
+for op), ``Conv2d`` / ``MaxPool2d`` / ``AvgPool2d`` (mode-independent,
+executed as module calls inside the plan), and ``Dropout`` at any ``p``
+(an exact identity in eval mode). Plans containing such ops are
+*eval-only*: their training entry points raise.
+
+Flat parameter slab
+-------------------
+Every per-parameter array a plan owns (gradient accumulator, scratch,
+velocity, the parameter data itself, and the FedProx reference) is a view
+into one flat float64 array packed by :func:`aligned_slot_layout` — the
+same packing :mod:`repro.fl.slab` uses for server-side θ slabs, so a
+broadcast from a slab-backed server state is a single ``memcpy`` into
+``_data_flat``. ``adopt_params`` re-homes the bound layers' parameter
+storage onto the plan's slab views; all in-place mutation elsewhere
+(``load_state_dict``, graph-path ``SGD.step``) then transparently writes
+the slab, and the whole SGD update — FedProx pull and weight decay
+included — runs as ufuncs over the flat concatenation. Inter-slot padding
+is zero-initialised and every full-slab kernel maps ``0 → +0``, so pad
+lanes never leak into parameter lanes.
 
 Plans hold no model references: :func:`head_ops` re-extracts (and
 re-validates) the layer chain per call, and every plan method takes the
@@ -62,34 +85,68 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2d, conv_out_size
 from repro.nn.dropout import Dropout
 from repro.nn.flatten import Flatten
 from repro.nn.linear import _TILE, Linear, row_canonical_matmul_into
 from repro.nn.losses import FusedCrossEntropy
 from repro.nn.module import Module, Sequential
-from repro.nn.pooling import GlobalAvgPool2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from repro.nn.segmented import SegmentedModel
 
+#: Alignment of every slot inside a flat parameter slab, in float64
+#: elements (8 × 8 bytes = one 64-byte cache line). Shared with the
+#: server-side θ slab (:mod:`repro.fl.slab`) so both sides pack
+#: identically and a broadcast is one ``memcpy``.
+ALIGN_ELEMS = 8
 
-def _leaves(module: Module) -> list[Module] | None:
+#: Op kinds only valid in eval-only plans (no backward/step support).
+_EVAL_ONLY_KINDS = frozenset({"bn", "conv", "maxpool", "avgpool"})
+
+#: Layers admitted into the chain only under ``eval_mode``.
+_EVAL_LEAVES = (BatchNorm1d, BatchNorm2d, Conv2d, MaxPool2d, AvgPool2d)
+
+
+def aligned_slot_layout(shapes) -> tuple[list[int], int]:
+    """``(offsets, total)`` element offsets packing ``shapes`` 64-byte aligned.
+
+    Each slot starts on an :data:`ALIGN_ELEMS` boundary; the gap up to the
+    next slot is padding (callers zero-initialise slabs so pads hold
+    ``+0.0``). This is the single packing definition shared by
+    :class:`FusedHeadPlan` flats and :class:`repro.fl.slab.SlabLayout` —
+    offset-identical packings are what make slab broadcasts a memcpy.
+    """
+    offsets: list[int] = []
+    offset = 0
+    for shape in shapes:
+        offsets.append(offset)
+        size = int(np.prod(shape)) if len(shape) else 1
+        offset += -(-size // ALIGN_ELEMS) * ALIGN_ELEMS
+    return offsets, offset
+
+
+def _leaves(module: Module, eval_mode: bool = False) -> list[Module] | None:
     """Flatten a θ segment into supported leaf layers; None if unfusible."""
     if isinstance(module, Sequential):
         leaves: list[Module] = []
         for layer in module.layers:
-            sub = _leaves(layer)
+            sub = _leaves(layer, eval_mode)
             if sub is None:
                 return None
             leaves.extend(sub)
         return leaves
     if isinstance(module, (Linear, ReLU, Flatten, GlobalAvgPool2d)):
         return [module]
-    if isinstance(module, Dropout) and module.p == 0.0:
-        return []  # identity in both modes, consumes no RNG
+    if isinstance(module, Dropout) and (module.p == 0.0 or eval_mode):
+        return []  # exact identity (p=0 in both modes; any p in eval mode)
+    if eval_mode and isinstance(module, _EVAL_LEAVES):
+        return [module]
     return None
 
 
 def head_ops(
-    model: SegmentedModel,
+    model: SegmentedModel, eval_mode: bool = False
 ) -> tuple[list[Module], tuple] | tuple[None, None]:
     """``(layers, signature)`` of a fusible trainable head, else ``(None, None)``.
 
@@ -97,14 +154,16 @@ def head_ops(
     order; ``signature`` is a hashable description (kinds, shapes, bias
     presence, ``requires_grad`` flags) that keys plan workspaces — any
     change to the head's structure or trainable set yields a different
-    signature and therefore a fresh plan.
+    signature and therefore a fresh plan. With ``eval_mode`` the chain may
+    also contain eval-mode BatchNorm, convolutions and pooling (see the
+    module docstring); such signatures build eval-only plans.
     """
     split = model.frozen_split_index()
     if split == 0:
         return None, None
     layers: list[Module] = []
     for _, segment in model.segments()[split:]:
-        sub = _leaves(segment)
+        sub = _leaves(segment, eval_mode)
         if sub is None:
             return None, None
         layers.extend(sub)
@@ -129,8 +188,27 @@ def head_ops(
             signature.append(("relu",))
         elif isinstance(layer, Flatten):
             signature.append(("flatten",))
-        else:
+        elif isinstance(layer, GlobalAvgPool2d):
             signature.append(("gap",))
+        elif isinstance(layer, (BatchNorm1d, BatchNorm2d)):
+            ndim = 1 if isinstance(layer, BatchNorm1d) else 2
+            signature.append(("bn", ndim, layer.num_features))
+        elif isinstance(layer, Conv2d):
+            signature.append(
+                (
+                    "conv",
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_size,
+                    layer.stride,
+                    layer.padding,
+                    layer.bias is not None,
+                )
+            )
+        elif isinstance(layer, MaxPool2d):
+            signature.append(("maxpool", layer.kernel_size))
+        else:  # AvgPool2d
+            signature.append(("avgpool", layer.kernel_size))
     if not trainable:
         return None, None  # nothing to solve for; let the graph path raise
     return layers, tuple(signature)
@@ -174,6 +252,34 @@ class FusedHeadPlan:
                         f"GlobalAvgPool2d needs (c, h, w) features, got {current}"
                     )
                 nxt = (current[0],)
+            elif kind == "bn":
+                if op[1] == 1:
+                    if current != (op[2],):
+                        raise ValueError(
+                            f"BatchNorm1d({op[2]}) cannot take features {current}"
+                        )
+                elif len(current) != 3 or current[0] != op[2]:
+                    raise ValueError(
+                        f"BatchNorm2d({op[2]}) cannot take features {current}"
+                    )
+                nxt = current
+            elif kind == "conv":
+                if len(current) != 3 or current[0] != op[1]:
+                    raise ValueError(
+                        f"Conv2d({op[1]}, {op[2]}) cannot take features {current}"
+                    )
+                nxt = (
+                    op[2],
+                    conv_out_size(current[1], op[3], op[4], op[5]),
+                    conv_out_size(current[2], op[3], op[4], op[5]),
+                )
+            elif kind in ("maxpool", "avgpool"):
+                k = op[1]
+                if len(current) != 3 or current[1] % k or current[2] % k:
+                    raise ValueError(
+                        f"pool kernel {k} cannot take features {current}"
+                    )
+                nxt = (current[0], current[1] // k, current[2] // k)
             else:  # relu
                 nxt = current
             shapes.append((current, nxt))
@@ -182,6 +288,9 @@ class FusedHeadPlan:
             raise ValueError(f"head output is not a logits vector: {current}")
         self.num_classes = current[0]
         self._shapes = shapes
+        #: True when the signature contains eval-only ops (BN, conv, pool):
+        #: forward/scoring/counting work, training entry points raise.
+        self.eval_only = any(op[0] in _EVAL_ONLY_KINDS for op in signature)
         self._lowest = next(
             (
                 i
@@ -190,7 +299,7 @@ class FusedHeadPlan:
             ),
             None,
         )
-        if self._lowest is None:
+        if self._lowest is None and not self.eval_only:
             # head_ops never emits such a signature, but the class is
             # public: fail with the documented exception type.
             raise ValueError("signature has no trainable Linear to solve for")
@@ -210,18 +319,26 @@ class FusedHeadPlan:
             )
             if enabled
         ]
-        # All per-parameter update state lives as contiguous views into
-        # four flat arrays, so the elementwise update math (zero-fill,
-        # gradient accumulate, momentum, LR scale) runs as ONE ufunc call
-        # over the concatenation instead of one per parameter — bitwise
-        # identical per element, a fraction of the dispatch cost.
-        total = sum(int(np.prod(shape)) for _, _, shape in slots)
-        self._acc_flat = np.empty(total)
-        self._tmp_flat = np.empty(total)
-        self._t1_flat = np.empty(total)
+        # All per-parameter state lives as contiguous views into flat
+        # arrays — gradient accumulator, scratch, velocity, AND the
+        # parameter data itself plus the FedProx reference — so the whole
+        # update (pull, decay, momentum, LR scale, in-place subtract) runs
+        # as ufunc calls over the concatenation instead of one per
+        # parameter: bitwise identical per element, a fraction of the
+        # dispatch cost. Slots pack 64-byte aligned (aligned_slot_layout,
+        # shared with the server slab so broadcasts memcpy); all flats are
+        # zero-initialised so inter-slot pads hold +0.0 forever — backward
+        # writes slot views only, and every full-slab kernel maps 0 → +0.
+        offsets, total = aligned_slot_layout([s for _, _, s in slots])
+        self.slot_offsets: list[int] = offsets
+        self.slot_total = total
+        self._acc_flat = np.zeros(total)
+        self._tmp_flat = np.zeros(total)
+        self._t1_flat = np.zeros(total)
         self._vel_flat = np.zeros(total)
-        offset = 0
-        for i, attr, shape in slots:
+        self._data_flat = np.zeros(total)
+        self._ref_flat = np.zeros(total)
+        for (i, attr, shape), offset in zip(slots, offsets):
             size = int(np.prod(shape))
             ws = self._param_ws.setdefault(i, {})
             for base, name in (
@@ -229,15 +346,19 @@ class FusedHeadPlan:
                 (self._tmp_flat, "_tmp"),
                 (self._t1_flat, "_t1"),
                 (self._vel_flat, "_vel"),
+                (self._data_flat, "_data"),
+                (self._ref_flat, "_ref"),
             ):
                 ws[attr + name] = base[offset : offset + size].reshape(shape)
-            offset += size
             self.trainable_slots.append((i, attr))
             self._step_prog.append(
                 (i, attr, ws[attr + "_acc"], ws[attr + "_t1"], ws[attr + "_vel"])
             )
         #: set lazily by the fastpath layer: θ broadcast name per slot
         self.theta_map = None
+        #: set lazily by the fastpath layer: the θ SlabLayout matching this
+        #: plan's packing (or ``()`` when the orders diverge)
+        self.theta_layout = None
         self._row_ws: dict[int, dict] = {}
         self._score_ws: dict[int, dict[str, np.ndarray]] = {}
         self._loss_hist: dict[int, np.ndarray] = {}
@@ -266,8 +387,24 @@ class FusedHeadPlan:
                 fprog.append(("relu", i, mask, np.empty((rows,) + out_shape)))
             elif kind == "flatten":
                 fprog.append(("flat", i))
-            else:  # gap
+            elif kind == "gap":
                 fprog.append(("gap", i, np.empty((rows,) + out_shape)))
+            elif kind == "bn":
+                # eval-mode BN: running-stats affine, fused into plan
+                # buffers — (1, c) / (1, c, 1, 1) broadcasting exactly as
+                # the module's _expand views.
+                eshape = (1, op[2]) if op[1] == 1 else (1, op[2], 1, 1)
+                fprog.append(
+                    (
+                        "bn",
+                        i,
+                        eshape,
+                        np.empty(op[2]),
+                        np.empty((rows,) + out_shape),
+                    )
+                )
+            else:  # conv / maxpool / avgpool: mode-independent module call
+                fprog.append(("mod", i))
         # Training-only pieces (backward program, gather buffers, loss
         # workspace) attach lazily in _train_ws: forward-only consumers —
         # selection chunks, evaluation batches — never pay for gradient
@@ -284,6 +421,11 @@ class FusedHeadPlan:
         return ws
 
     def _train_ws(self, rows: int) -> dict:
+        if self.eval_only:
+            raise RuntimeError(
+                "plan is eval-only (signature contains BN/conv/pool ops); "
+                "training entry points are unavailable"
+            )
         ws = self._ws(rows)
         if ws["loss"] is not None:
             return ws
@@ -363,6 +505,40 @@ class FusedHeadPlan:
             for i in range(len(inputs)):
                 inputs[i] = None
 
+    def adopt_params(self, layers: list[Module]) -> None:
+        """Re-home the trainable parameters' storage onto ``_data_flat``.
+
+        When a parameter's ``data`` is not already this plan's slab view,
+        its current values are copied in and the binding switched. Every
+        in-place mutation elsewhere (``load_state_dict`` writes
+        ``target.data[...]``, graph-path ``SGD.step`` subtracts in place)
+        then transparently operates on the slab, so adoption changes no
+        observable values — it only makes the fused update and slab
+        broadcasts flat. Re-adoption after another plan took the binding
+        (clients share one workspace model) just copies back.
+        """
+        for i, attr in self.trainable_slots:
+            layer = layers[i]
+            param = layer.weight if attr == "w" else layer.bias
+            view = self._param_ws[i][attr + "_data"]
+            if param.data is not view:
+                view[...] = param.data
+                param.data = view
+
+    def gather_refs(
+        self, layers: list[Module], refs: dict[int, np.ndarray]
+    ) -> None:
+        """Copy the FedProx global reference θ into ``_ref_flat`` slot views.
+
+        Reference values are constant for the round, so one gather up
+        front replaces the per-step per-parameter ``refs[id(param)]``
+        reads — the values each step subtracts are bit-identical.
+        """
+        for i, attr in self.trainable_slots:
+            layer = layers[i]
+            param = layer.weight if attr == "w" else layer.bias
+            self._param_ws[i][attr + "_ref"][...] = refs[id(param)]
+
     # -- kernels -------------------------------------------------------------
     def forward(self, layers: list[Module], ws: dict, x: np.ndarray) -> np.ndarray:
         """Head forward for one minibatch; returns the plan's logits buffer."""
@@ -388,10 +564,25 @@ class FusedHeadPlan:
                 current = out
             elif kind == "flat":
                 current = current.reshape(current.shape[0], -1)
-            else:  # gap
+            elif kind == "gap":
                 out = step[2]
                 current.mean(axis=(2, 3), out=out)
                 current = out
+            elif kind == "bn":
+                # Replays _BatchNorm's eval forward op for op:
+                # inv = 1/sqrt(var + eps); out = γ·((x − mean)·inv) + β.
+                _, i, eshape, inv, out = step
+                layer = layers[i]
+                np.add(layer.running_var, layer.eps, out=inv)
+                np.sqrt(inv, out=inv)
+                np.divide(1.0, inv, out=inv)
+                np.subtract(current, layer.running_mean.reshape(eshape), out=out)
+                np.multiply(out, inv.reshape(eshape), out=out)
+                np.multiply(layer.gamma.data.reshape(eshape), out, out=out)
+                np.add(out, layer.beta.data.reshape(eshape), out=out)
+                current = out
+            else:  # mod: a mode-independent layer runs as a module call
+                current = layers[step[1]](current)
         return current
 
     def _backward(self, layers: list[Module], ws: dict, grad: np.ndarray) -> None:
@@ -425,12 +616,10 @@ class FusedHeadPlan:
 
     def _step(
         self,
-        layers: list[Module],
         lr: float,
         momentum: float,
         weight_decay: float,
         prox_mu: float,
-        refs: dict[int, np.ndarray] | None,
     ) -> None:
         # grad = 0 + raw gradient, flat — element for element the same as
         # zeroed ``Parameter.grad`` receiving ``+=`` per parameter (the
@@ -438,45 +627,32 @@ class FusedHeadPlan:
         acc = self._acc_flat
         acc[...] = 0.0
         np.add(acc, self._tmp_flat, out=acc)
-        if prox_mu > 0 or weight_decay:
-            # FedProx / weight decay read ``p.data``, which lives outside
-            # the flat workspace: per-parameter kernels, as the graph does.
-            for i, attr, p_acc, t1, velocity in self._step_prog:
-                layer = layers[i]
-                param = layer.weight if attr == "w" else layer.bias
-                data = param.data
-                grad = p_acc
-                if prox_mu > 0:
-                    np.subtract(data, refs[id(param)], out=t1)
-                    np.multiply(t1, prox_mu, out=t1)
-                    np.add(grad, t1, out=grad)
-                if weight_decay:
-                    np.multiply(data, weight_decay, out=t1)
-                    np.add(grad, t1, out=t1)
-                    grad = t1
-                if momentum:
-                    np.multiply(velocity, momentum, out=velocity)
-                    np.add(velocity, grad, out=velocity)
-                    update = velocity
-                else:
-                    update = grad
-                np.multiply(update, lr, out=t1)
-                np.subtract(data, t1, out=data)
-            return
-        # Plain SGD(+momentum): the whole update is elementwise, so it runs
-        # on the flat concatenation — only the final in-place parameter
-        # writes go per parameter.
+        # Parameter data lives in _data_flat (adopt_params) and the FedProx
+        # reference in _ref_flat (gather_refs), so EVERY solver config runs
+        # the update as ufuncs over the flat concatenation. Parameters are
+        # disjoint slots, so the flat kernels compute exactly what the
+        # graph's per-parameter sequence computes, element for element;
+        # zero pads stay +0 through every op (hyperparameters are ≥ 0).
+        data = self._data_flat
+        t1 = self._t1_flat
+        grad = acc
+        if prox_mu > 0:
+            np.subtract(data, self._ref_flat, out=t1)
+            np.multiply(t1, prox_mu, out=t1)
+            np.add(grad, t1, out=grad)
+        if weight_decay:
+            np.multiply(data, weight_decay, out=t1)
+            np.add(grad, t1, out=t1)
+            grad = t1
         if momentum:
             velocity = self._vel_flat
             np.multiply(velocity, momentum, out=velocity)
-            np.add(velocity, acc, out=velocity)
-            np.multiply(velocity, lr, out=self._t1_flat)
+            np.add(velocity, grad, out=velocity)
+            update = velocity
         else:
-            np.multiply(acc, lr, out=self._t1_flat)
-        for i, attr, _p_acc, t1, _velocity in self._step_prog:
-            layer = layers[i]
-            param = layer.weight if attr == "w" else layer.bias
-            np.subtract(param.data, t1, out=param.data)
+            update = grad
+        np.multiply(update, lr, out=t1)
+        np.subtract(data, t1, out=data)
 
     # -- entry points --------------------------------------------------------
     def train_round(
@@ -503,6 +679,9 @@ class FusedHeadPlan:
         n = len(features)
         if n and (labels.min() < 0 or labels.max() >= self.num_classes):
             raise ValueError("labels out of range for num_classes")
+        self.adopt_params(layers)
+        if prox_mu > 0:
+            self.gather_refs(layers, refs)
         self._vel_flat[...] = 0.0  # fresh velocity, like a per-round SGD
         steps_per_epoch = -(-n // batch_size)
         losses = self._losses(epochs * steps_per_epoch)
@@ -521,7 +700,7 @@ class FusedHeadPlan:
                 losses[step] = loss.forward(logits, ws["y"])
                 step += 1
                 self._backward(layers, ws, loss.backward())
-                self._step(layers, lr, momentum, weight_decay, prox_mu, refs)
+                self._step(lr, momentum, weight_decay, prox_mu)
         self._release_inputs()
         return float(np.mean(losses))
 

@@ -1,0 +1,511 @@
+"""Flat-slab server θ (repro.fl.slab): bitwise identity everywhere.
+
+The slab representation is a pure fast lane — every result it produces
+must be byte-identical to the per-key dict walk it replaces. Pinned here:
+
+1. the flat aggregation kernels against their dict counterparts,
+   including the all-``-0.0``-column sign edge;
+2. full federated runs, slab-backed vs dict-backed servers, across
+   FedAvg / FedAsync / FedBuff × serial / process × telemetry on / off;
+3. the synchronous kill-and-resume path: a format-2 checkpoint restores
+   the sampling and client RNG streams, so the resumed run reproduces
+   the uninterrupted one byte for byte;
+4. checkpoint wire formats: the sync format-2 runtime payload, the async
+   format-4 single-slab θ delta, and legacy (≤3) manifests;
+5. the eval-mode fused head: CNN "moderate" (BatchNorm in θ) evaluates
+   through the precomputed-affine plan, bitwise equal to the layer graph.
+"""
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.fedft_eds import FedFTEDSConfig, run_fedft_eds
+from repro.core.partial import prepare_partial_model
+from repro.data.dataset import ArrayDataset
+from repro.engine.aggregators import FedAsyncAggregator, FedBuffAggregator
+from repro.engine.backends import ProcessPoolBackend
+from repro.engine.runner import run_async_federated_training
+from repro.fl.aggregation import (
+    apply_delta,
+    apply_delta_flat,
+    mix_flat,
+    mix_states,
+    subtract_flat,
+    subtract_states,
+    weighted_average,
+    weighted_average_flat,
+)
+from repro.fl.checkpoint import (
+    load_async_checkpoint,
+    save_checkpoint,
+    resume_sync_federated_training,
+)
+from repro.fl.fastpath import STATS as FASTPATH_STATS, bind_head
+from repro.fl.features import batched_head_logits, compute_features
+from repro.fl.rounds import run_federated_training
+from repro.fl.sampling import FractionParticipation
+from repro.fl.slab import SlabLayout, SlabState, make_slab_state
+from repro.fl.timing import TimingModel
+from repro.nn import functional as F
+from repro.nn.cnn import SmallConvNet
+from repro.nn.fused import head_ops
+from repro.obs.report import TelemetrySession
+from repro.testbed import ENGINE_SMOKE, tiny_federation
+
+RNG = np.random.default_rng
+
+
+def _states_bitwise_equal(a, b):
+    return set(a) == set(b) and all(
+        a[k].dtype == b[k].dtype
+        and a[k].shape == b[k].shape
+        and a[k].tobytes() == b[k].tobytes()
+        for k in a
+    )
+
+
+def _dictify(server):
+    """Force ``server`` onto the per-key dict path (the reference lane)."""
+    server._slab_layout = None
+    server.global_state = {
+        k: v.copy() for k, v in server.global_state.items()
+    }
+    return server
+
+
+# ---------------------------------------------------------------------------
+# Flat kernels vs dict kernels
+# ---------------------------------------------------------------------------
+
+
+def _random_state(rng, scale=1.0):
+    return {
+        "a.weight": scale * rng.normal(size=(4, 3)),
+        "a.bias": scale * rng.normal(size=(4,)),
+        "b.weight": scale * rng.normal(size=(2, 4)),
+    }
+
+
+def _layout_and_flat(state):
+    layout = SlabLayout.for_state(state, list(state))
+    return layout, layout.gather(state, np.empty(layout.total))
+
+
+def test_weighted_average_flat_bitwise_matches_dict():
+    rng = RNG(0)
+    states = [_random_state(rng) for _ in range(7)]
+    weights = [3, 1, 4, 1, 5, 9, 2]
+    layout = SlabLayout.for_state(states[0], list(states[0]))
+    stack = np.stack(
+        [layout.gather(s, np.empty(layout.total)) for s in states]
+    )
+    ref = weighted_average(states, weights)
+    flat = weighted_average_flat(stack, weights)
+    assert _states_bitwise_equal(layout.views(flat), ref)
+
+
+def test_weighted_average_flat_negative_zero_column():
+    """A column where every scaled row is -0.0: the dict walk's
+    zero-initialised accumulator yields +0.0, and so must the reduction."""
+    states = [
+        {"w": np.array([-0.0, 1.0]), "v": np.array([[-0.0]])}
+        for _ in range(3)
+    ]
+    layout = SlabLayout.for_state(states[0], ["w", "v"])
+    stack = np.stack(
+        [layout.gather(s, np.empty(layout.total)) for s in states]
+    )
+    ref = weighted_average(states, [1.0, 1.0, 1.0])
+    flat = weighted_average_flat(stack, [1.0, 1.0, 1.0])
+    views = layout.views(flat)
+    assert _states_bitwise_equal(views, ref)
+    # and the bytes are +0.0, not -0.0
+    assert views["w"][0].tobytes() == np.float64(0.0).tobytes()
+
+
+def test_mix_flat_bitwise_matches_dict():
+    rng = RNG(1)
+    base, incoming = _random_state(rng), _random_state(rng)
+    layout, base_flat = _layout_and_flat(base)
+    _, in_flat = _layout_and_flat(incoming)
+    for alpha in (0.0, 0.3, 1.0):
+        ref = mix_states(base, incoming, alpha)
+        out = mix_flat(
+            base_flat,
+            in_flat,
+            alpha,
+            np.empty(layout.total),
+            np.empty(layout.total),
+        )
+        assert _states_bitwise_equal(layout.views(out), ref)
+
+
+def test_apply_delta_flat_bitwise_matches_dict():
+    rng = RNG(2)
+    base, delta = _random_state(rng), _random_state(rng, scale=0.1)
+    layout, base_flat = _layout_and_flat(base)
+    _, delta_flat = _layout_and_flat(delta)
+    ref = apply_delta(base, delta, lr=0.7)
+    out = apply_delta_flat(base_flat, delta_flat, 0.7, np.empty(layout.total))
+    assert _states_bitwise_equal(layout.views(out), ref)
+
+
+def test_subtract_flat_bitwise_matches_dict():
+    rng = RNG(3)
+    minuend, base = _random_state(rng), _random_state(rng)
+    layout, m_flat = _layout_and_flat(minuend)
+    _, b_flat = _layout_and_flat(base)
+    ref = subtract_states(minuend, base)
+    out = subtract_flat(m_flat, b_flat, np.empty(layout.total))
+    assert _states_bitwise_equal(layout.views(out), ref)
+
+
+def test_slab_state_round_trips_and_pickles_to_plain_dict():
+    state = _random_state(RNG(4))
+    layout = SlabLayout.for_state(state, list(state))
+    slab = make_slab_state(state, layout)
+    assert _states_bitwise_equal(slab, state)
+    clone = pickle.loads(pickle.dumps(slab))
+    assert type(clone) is dict  # workers and checkpoints see a plain dict
+    assert not hasattr(clone, "theta_slab")
+    assert _states_bitwise_equal(clone, state)
+
+
+def test_slab_layout_declines_non_float64():
+    state = {"w": np.ones(3, dtype=np.float32)}
+    assert SlabLayout.for_state(state, ["w"]) is None
+    layout = SlabLayout.for_state({"w": np.ones(3)}, ["w"])
+    assert not layout.matches(state)
+
+
+# ---------------------------------------------------------------------------
+# Slab vs dict: full runs across aggregators, backends, telemetry
+# ---------------------------------------------------------------------------
+
+
+def _sync_run(dict_path, backend=None, telemetry=False):
+    server, clients = tiny_federation(seed=6)
+    if dict_path:
+        _dictify(server)
+    kwargs = dict(
+        rounds=3,
+        seed=1,
+        participation=FractionParticipation(0.7),
+        timing=TimingModel(),
+        backend=backend,
+    )
+    if telemetry:
+        with TelemetrySession(trace=True):
+            history = run_federated_training(server, clients, **kwargs)
+    else:
+        history = run_federated_training(server, clients, **kwargs)
+    return server, history
+
+
+def _async_run(mode, dict_path, backend=None, telemetry=False):
+    server, clients = tiny_federation(seed=6)
+    if dict_path:
+        _dictify(server)
+    aggregator = (
+        FedAsyncAggregator(mixing=0.4, staleness_exponent=0.5)
+        if mode == "fedasync"
+        else FedBuffAggregator(buffer_size=3, staleness_exponent=0.5)
+    )
+    kwargs = dict(max_events=12, seed=2, timing=TimingModel(), backend=backend)
+    if telemetry:
+        with TelemetrySession(trace=True):
+            log = run_async_federated_training(
+                server, clients, aggregator, **kwargs
+            )
+    else:
+        log = run_async_federated_training(server, clients, aggregator, **kwargs)
+    return server, log
+
+
+def _event_fingerprint(log):
+    return [
+        (r.virtual_time, r.client_id, r.kind, r.staleness, r.model_version)
+        for r in log.records
+    ]
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+def test_sync_fedavg_slab_matches_dict_serial(telemetry):
+    slab_server, slab_hist = _sync_run(False, telemetry=telemetry)
+    dict_server, dict_hist = _sync_run(True, telemetry=telemetry)
+    # the fast lane actually engaged
+    assert slab_server.global_state.theta_slab is not None
+    assert getattr(dict_server.global_state, "theta_slab", None) is None
+    assert slab_hist.accuracies.tolist() == dict_hist.accuracies.tolist()
+    assert [r.participants for r in slab_hist.records] == [
+        r.participants for r in dict_hist.records
+    ]
+    assert _states_bitwise_equal(
+        slab_server.global_state, dict_server.global_state
+    )
+
+
+@pytest.mark.parametrize("mode", ["fedasync", "fedbuff"])
+@pytest.mark.parametrize("telemetry", [False, True])
+def test_async_slab_matches_dict_serial(mode, telemetry):
+    slab_server, slab_log = _async_run(mode, False, telemetry=telemetry)
+    dict_server, dict_log = _async_run(mode, True, telemetry=telemetry)
+    assert slab_server.global_state.theta_slab is not None
+    assert _event_fingerprint(slab_log) == _event_fingerprint(dict_log)
+    assert np.array_equal(slab_log.accuracies, dict_log.accuracies)
+    assert _states_bitwise_equal(
+        slab_server.global_state, dict_server.global_state
+    )
+
+
+def test_sync_fedavg_slab_matches_dict_process():
+    dict_server, dict_hist = _sync_run(True)
+    with ProcessPoolBackend(max_workers=2) as backend:
+        slab_server, slab_hist = _sync_run(False, backend=backend)
+        stats = dict(backend.stats)
+    assert slab_hist.accuracies.tolist() == dict_hist.accuracies.tolist()
+    assert _states_bitwise_equal(
+        slab_server.global_state, dict_server.global_state
+    )
+    # broadcast publishes collapse to a θ memcpy once a slot holds the
+    # frozen ϕ and the slab signature (slots alternate, so not every
+    # publish — but at least the first slot-reuse one)
+    assert stats["state_publishes"] == 3
+    assert stats["state_slab_memcpys"] >= 1
+
+
+def test_async_fedbuff_slab_matches_dict_process():
+    dict_server, dict_log = _async_run("fedbuff", True)
+    with ProcessPoolBackend(max_workers=2) as backend:
+        slab_server, slab_log = _async_run("fedbuff", False, backend=backend)
+    assert _event_fingerprint(slab_log) == _event_fingerprint(dict_log)
+    assert np.array_equal(slab_log.accuracies, dict_log.accuracies)
+    assert _states_bitwise_equal(
+        slab_server.global_state, dict_server.global_state
+    )
+
+
+def test_broadcast_feeds_client_plans_by_memcpy():
+    """The end-to-end fast lane: a slab broadcast lands in the fused head
+    plan's flat storage as one memcpy (counted), bitwise equal results."""
+    before = FASTPATH_STATS["theta_slab_loads"]
+    result = run_fedft_eds(FedFTEDSConfig(seed=13, **ENGINE_SMOKE))
+    assert FASTPATH_STATS["theta_slab_loads"] > before
+    assert getattr(result.server.global_state, "theta_slab", None) is not None
+
+
+# ---------------------------------------------------------------------------
+# Synchronous kill-and-resume: bitwise identity (format 2)
+# ---------------------------------------------------------------------------
+
+
+class _Killed(Exception):
+    """Stands in for the process dying between rounds."""
+
+
+def _sync_resume_cfg():
+    return dict(
+        rounds=6,
+        seed=3,
+        participation=FractionParticipation(0.7),
+        timing=TimingModel(),
+        eval_every=2,
+    )
+
+
+def test_sync_kill_and_resume_bitwise_identical(tmp_path):
+    server_a, clients_a = tiny_federation(seed=7)
+    full = run_federated_training(server_a, clients_a, **_sync_resume_cfg())
+
+    path = os.path.join(tmp_path, "sync_ckpt")
+    server_b, clients_b = tiny_federation(seed=7)
+
+    def bomb(record):
+        if record.round_index == 3:
+            raise _Killed
+
+    with pytest.raises(_Killed):
+        run_federated_training(
+            server_b,
+            clients_b,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            on_round=bomb,
+            **_sync_resume_cfg(),
+        )
+
+    server_c, clients_c = tiny_federation(seed=7)
+    resumed = resume_sync_federated_training(
+        path,
+        server_c,
+        clients_c,
+        participation=FractionParticipation(0.7),
+        timing=TimingModel(),
+    )
+    assert [r.round_index for r in resumed.records] == [1, 2, 3, 4, 5, 6]
+    assert resumed.accuracies.tolist() == full.accuracies.tolist()
+    assert [r.participants for r in resumed.records] == [
+        r.participants for r in full.records
+    ]
+    assert [r.evaluated for r in resumed.records] == [
+        r.evaluated for r in full.records
+    ]
+    assert [r.cumulative_client_seconds for r in resumed.records] == [
+        r.cumulative_client_seconds for r in full.records
+    ]
+    assert _states_bitwise_equal(
+        server_c.global_state, server_a.global_state
+    )
+    # the RNG streams themselves line up — the next round would too
+    for a, c in zip(clients_a, clients_c):
+        assert a.rng.bit_generator.state == c.rng.bit_generator.state
+
+
+def test_sync_resume_noop_when_complete(tmp_path):
+    path = os.path.join(tmp_path, "done_ckpt")
+    server, clients = tiny_federation(seed=8)
+    run_federated_training(
+        server,
+        clients,
+        rounds=2,
+        seed=0,
+        timing=TimingModel(),
+        checkpoint_path=path,
+        checkpoint_every=1,
+    )
+    fresh_server, fresh_clients = tiny_federation(seed=8)
+    history = resume_sync_federated_training(path, fresh_server, fresh_clients)
+    assert len(history.records) == 2
+    assert _states_bitwise_equal(
+        fresh_server.global_state, server.global_state
+    )
+
+
+def test_sync_resume_requires_runtime_payload(tmp_path):
+    """A checkpoint saved outside the loop (no RNG streams) must refuse
+    the bitwise resume instead of silently degrading."""
+    path = os.path.join(tmp_path, "bare_ckpt")
+    server, clients = tiny_federation(seed=9)
+    history = run_federated_training(
+        server, clients, rounds=2, seed=0, timing=TimingModel()
+    )
+    save_checkpoint(path, server, history)
+    with open(os.path.join(path, "history.json")) as handle:
+        payload = json.load(handle)
+    assert payload["format"] == 2
+    assert "sync_runtime" not in payload
+    fresh_server, fresh_clients = tiny_federation(seed=9)
+    with pytest.raises(ValueError, match="sync runtime"):
+        resume_sync_federated_training(path, fresh_server, fresh_clients)
+
+
+def test_sync_checkpoint_rehomes_state_into_slab(tmp_path):
+    path = os.path.join(tmp_path, "slab_ckpt")
+    server, clients = tiny_federation(seed=10)
+    history = run_federated_training(
+        server, clients, rounds=2, seed=0, timing=TimingModel()
+    )
+    save_checkpoint(path, server, history)
+    fresh_server, _ = tiny_federation(seed=11)
+    from repro.fl.checkpoint import load_checkpoint
+
+    load_checkpoint(path, fresh_server)
+    assert fresh_server.global_state.theta_slab is not None
+    assert _states_bitwise_equal(
+        fresh_server.global_state, server.global_state
+    )
+
+
+# ---------------------------------------------------------------------------
+# Async checkpoint wire format: slab delta (format 4) and legacy load
+# ---------------------------------------------------------------------------
+
+
+def _async_checkpointed_run(path, dict_path):
+    server, clients = tiny_federation(seed=12)
+    if dict_path:
+        _dictify(server)
+    run_async_federated_training(
+        server,
+        clients,
+        FedAsyncAggregator(mixing=0.4, staleness_exponent=0.5),
+        max_events=8,
+        seed=4,
+        timing=TimingModel(),
+        checkpoint_path=path,
+        checkpoint_every=1,
+    )
+    return server
+
+
+def test_async_slab_checkpoint_roundtrip(tmp_path):
+    path = os.path.join(tmp_path, "ckpt")
+    server = _async_checkpointed_run(path, dict_path=False)
+    with open(os.path.join(path, "async_state.json")) as handle:
+        manifest = json.load(handle)
+    assert manifest["format"] == 4
+    assert manifest["server_slab"]  # θ packing recorded for the slab delta
+    with np.load(os.path.join(path, manifest["files"]["server"])) as delta:
+        assert set(delta.files) == {"__theta_slab__"}
+    state = load_async_checkpoint(path)
+    assert _states_bitwise_equal(state.server_state, server.global_state)
+
+
+def test_async_dict_state_checkpoint_still_per_key(tmp_path):
+    """A dict-backed server (no slab) keeps the per-key delta encoding —
+    and its manifest loads even with the format-4 fields stripped, i.e.
+    exactly what a format-3 writer produced."""
+    path = os.path.join(tmp_path, "ckpt")
+    server = _async_checkpointed_run(path, dict_path=True)
+    manifest_path = os.path.join(path, "async_state.json")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    assert manifest["server_slab"] is None
+    with np.load(os.path.join(path, manifest["files"]["server"])) as delta:
+        assert "__theta_slab__" not in delta.files
+        assert delta.files  # θ changed, stored per key
+    state = load_async_checkpoint(path)
+    assert _states_bitwise_equal(state.server_state, server.global_state)
+    # strip the format-4 fields: a legacy manifest must load identically
+    manifest["format"] = 3
+    del manifest["server_slab"]
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle)
+    legacy = load_async_checkpoint(path)
+    assert _states_bitwise_equal(legacy.server_state, server.global_state)
+
+
+# ---------------------------------------------------------------------------
+# Eval-mode fused head: CNN "moderate" (BatchNorm in θ)
+# ---------------------------------------------------------------------------
+
+
+def test_cnn_moderate_eval_plan_bitwise_matches_graph():
+    cnn = SmallConvNet(4, RNG(0), channels=(4, 4, 4))
+    prepare_partial_model(cnn, "moderate")
+    x = RNG(1).normal(size=(40, 3, 8, 8))
+    y = RNG(2).integers(0, 4, size=40)
+    features = compute_features(cnn, x, 16)
+    # training still declines (BN statistics update is stateful) ...
+    assert head_ops(cnn) == (None, None)
+    # ... but evaluation fuses BN as a precomputed affine
+    bound = bind_head(cnn, features.shape[1:], eval_mode=True)
+    assert bound is not None
+    correct = bound.correct_count(features, y, 16)
+    logits = batched_head_logits(cnn, features, 16)
+    assert correct / len(y) == F.accuracy(logits, y)
+
+
+def test_server_fused_eval_bitwise_matches_graph():
+    result = run_fedft_eds(FedFTEDSConfig(seed=13, **ENGINE_SMOKE))
+    server = result.server
+    fused_before = server.eval_stats["fused_evals"]
+    accuracy = server.evaluate()
+    assert server.eval_stats["fused_evals"] == fused_before + 1
+    features = server._test_features[1]
+    logits = batched_head_logits(server.model, features, 512)
+    assert accuracy == F.accuracy(logits, server.test_set.labels)
