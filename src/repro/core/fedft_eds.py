@@ -115,6 +115,12 @@ class FedFTEDSConfig:
     #: graph, with automatic per-client fallback for unfusible heads;
     #: disable (``--no-fused-solver``) to force the layer-graph path
     fused_solver: bool = True
+    #: cohort solver (repro.fl.fastpath.cohort_units): backends group
+    #: compatible participants into block-stacked CohortPlan solves — one
+    #: job per cohort instead of one per client, bitwise identical to
+    #: per-client dispatch; disable (``--no-cohort-solver``) to force
+    #: per-client jobs
+    cohort_solver: bool = True
     #: campaign scope for repeated calls: a :class:`FedFTEDSCampaign`
     #: supplies the warm process backend, segment pool and feature runtime
     #: shared across runs (standalone calls build throwaway ones)
@@ -191,6 +197,7 @@ class FedFTEDSCampaign:
                     persistent=True,
                     feature_runtime=runtime,
                     fused_solver=config.fused_solver,
+                    cohort_solver=config.cohort_solver,
                 )
             else:
                 # Honour the run's cache/fusion settings on the warm
@@ -198,11 +205,13 @@ class FedFTEDSCampaign:
                 # by end_run.
                 self._process_backend.feature_runtime = runtime
                 self._process_backend.fused_solver = config.fused_solver
+                self._process_backend.cohort_solver = config.cohort_solver
             return self._process_backend
         return make_backend(
             config.backend,
             config.max_workers or self.max_workers,
             feature_runtime=runtime,
+            cohort_solver=config.cohort_solver,
         )
 
     def close(self) -> None:
@@ -376,6 +385,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             rng=client_rngs[i],
             shard_key=shard_identity + (i,),
             fused_solver=config.fused_solver,
+            cohort_solver=config.cohort_solver,
         )
         for i, shard in enumerate(shards)
     ]
@@ -389,6 +399,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             config.max_workers,
             feature_runtime=FeatureRuntime() if config.feature_cache else None,
             fused_solver=config.fused_solver,
+            cohort_solver=config.cohort_solver,
         )
     if isinstance(backend, ProcessPoolBackend):
         server.evaluator = PooledEvaluator(

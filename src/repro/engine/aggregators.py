@@ -129,7 +129,12 @@ class FedAsyncAggregator(AsyncAggregator):
     def recycle(self, state):
         slab = getattr(state, "theta_slab", None)
         if slab is not None:
-            if len(self._free_flats) < 4:
+            # Cap per slab length, not overall: cohort update lanes (views
+            # into a cohort job's delta stack, recycled by the engine after
+            # apply) can differ in length from retired server versions, and
+            # one size class must not crowd the other out of the pool.
+            same = sum(1 for f in self._free_flats if len(f) == len(slab))
+            if same < 4:
                 self._free_flats.append(slab)
         elif len(self._free) < 4:
             self._free.append(state)
@@ -216,7 +221,10 @@ class FedBuffAggregator(AsyncAggregator):
     def recycle(self, state):
         slab = getattr(state, "theta_slab", None)
         if slab is not None:
-            if len(self._free_flats) < self.buffer_size + 4:
+            # Per-length cap, as in FedAsyncAggregator.recycle: recycled
+            # cohort lanes and retired server slabs pool side by side.
+            same = sum(1 for f in self._free_flats if len(f) == len(slab))
+            if same < self.buffer_size + 4:
                 self._free_flats.append(slab)
         elif len(self._free) < self.buffer_size + 4:
             self._free.append(state)

@@ -65,6 +65,7 @@ from repro.engine.campaign import (
 )
 
 from repro.data.dataset import ArrayDataset, Dataset
+from repro.fl import fastpath
 from repro.fl.client import Client
 from repro.fl.features import FeatureRuntime, eval_pool_key, feature_pool_key
 from repro.fl.strategies import LocalUpdate
@@ -99,6 +100,12 @@ class _Resolved:
 class ExecutionBackend:
     """Interface: submit client rounds, collect their LocalUpdates."""
 
+    #: whether this backend may group compatible clients into block-stacked
+    #: cohort solves (:func:`repro.fl.fastpath.cohort_units`); class-level
+    #: default so lightweight subclasses keep the flag without chaining
+    #: ``__init__``
+    cohort_solver: bool = True
+
     def submit(
         self,
         client: Client,
@@ -108,6 +115,26 @@ class ExecutionBackend:
     ):
         """Start one client round; returns a handle for :meth:`result`."""
         raise NotImplementedError
+
+    def submit_many(
+        self,
+        clients: list[Client],
+        template: SegmentedModel,
+        global_state: dict[str, np.ndarray],
+        timing: TimingModel | None,
+    ) -> list:
+        """Start one round per client; handles in input order.
+
+        The grouped entry point lets backends batch compatible clients into
+        cohort solves (one block-stacked job instead of N per-client jobs)
+        while still returning one handle per client — results are bitwise
+        identical to N :meth:`submit` calls, each handle resolving to its
+        client's LocalUpdate. The base implementation is exactly that loop.
+        """
+        return [
+            self.submit(client, template, global_state, timing)
+            for client in clients
+        ]
 
     def result(self, handle) -> LocalUpdate:
         """Block until the handle's round is finished and return its update."""
@@ -121,10 +148,7 @@ class ExecutionBackend:
         timing: TimingModel | None,
     ) -> list[LocalUpdate]:
         """Run one synchronous round's participants, preserving input order."""
-        handles = [
-            self.submit(client, template, global_state, timing)
-            for client in clients
-        ]
+        handles = self.submit_many(clients, template, global_state, timing)
         return [self.result(h) for h in handles]
 
     def close(self) -> None:
@@ -135,6 +159,23 @@ class ExecutionBackend:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+#: lanes per dispatched cohort job on the pooled backends. One job per
+#: cohort would serialise a whole round onto a single worker and balloon
+#: the per-job payload; chunking keeps every worker busy and bounds blob
+#: sizes. Lanes are mutually independent inside a plan — each replays its
+#: own client's kernel tiling and RNG draws — so any chunking is bitwise
+#: invisible. The serial backend keeps cohorts whole (nothing to overlap;
+#: bigger stacks amortise better).
+_COHORT_JOB_LANES = 64
+
+
+def _cohort_chunks(positions: list) -> list:
+    return [
+        positions[start : start + _COHORT_JOB_LANES]
+        for start in range(0, len(positions), _COHORT_JOB_LANES)
+    ]
 
 
 class SerialBackend(ExecutionBackend):
@@ -149,8 +190,13 @@ class SerialBackend(ExecutionBackend):
     #: without chaining __init__) keep the uncached seed behaviour
     feature_runtime: FeatureRuntime | None = None
 
-    def __init__(self, feature_runtime: FeatureRuntime | None = None):
+    def __init__(
+        self,
+        feature_runtime: FeatureRuntime | None = None,
+        cohort_solver: bool = True,
+    ):
         self.feature_runtime = feature_runtime
+        self.cohort_solver = cohort_solver
 
     def submit(self, client, template, global_state, timing):
         features = (
@@ -163,6 +209,40 @@ class SerialBackend(ExecutionBackend):
                 template, global_state, timing=timing, features=features
             )
         )
+
+    def submit_many(self, clients, template, global_state, timing):
+        # Cohort grouping needs cached features, at least two clients and
+        # the stock per-client path (a subclass overriding ``submit``
+        # customises per-client behaviour the cohort would bypass).
+        if (
+            len(clients) < 2
+            or not self.cohort_solver
+            or self.feature_runtime is None
+            or type(self).submit is not SerialBackend.submit
+        ):
+            return super().submit_many(clients, template, global_state, timing)
+        chain = template.phi_prefix_chain()
+        features = [
+            self.feature_runtime.features_for(client, template, chain=chain)
+            for client in clients
+        ]
+        shapes = [None if f is None else tuple(f.shape[1:]) for f in features]
+        units = fastpath.cohort_units(clients, template, global_state, shapes)
+        handles: list = [None] * len(clients)
+        for positions, layout in units or ():
+            members = [clients[i] for i in positions]
+            feats = [features[i] for i in positions]
+            updates = fastpath.run_cohort(
+                members, template, global_state, timing, feats, layout
+            )
+            if updates is None:
+                continue  # late disagreement: members fall through below
+            for pos, update in zip(positions, updates):
+                handles[pos] = _Resolved(update)
+        for i, client in enumerate(clients):
+            if handles[i] is None:
+                handles[i] = self.submit(client, template, global_state, timing)
+        return handles
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -183,11 +263,13 @@ class ThreadPoolBackend(ExecutionBackend):
         self,
         max_workers: int | None = None,
         feature_runtime: FeatureRuntime | None = None,
+        cohort_solver: bool = True,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.feature_runtime = feature_runtime
+        self.cohort_solver = cohort_solver
         self._executor: ThreadPoolExecutor | None = None
         self._replicas: queue.Queue | None = None
         self._lock = threading.Lock()
@@ -224,12 +306,102 @@ class ThreadPoolBackend(ExecutionBackend):
 
         return self._executor.submit(job)
 
+    def submit_many(self, clients, template, global_state, timing):
+        if (
+            len(clients) < 2
+            or not self.cohort_solver
+            or self.feature_runtime is None
+            or type(self).submit is not ThreadPoolBackend.submit
+        ):
+            return super().submit_many(clients, template, global_state, timing)
+        self._ensure_started(template)
+        chain = template.phi_prefix_chain()
+        features = [
+            self.feature_runtime.features_for(client, template, chain=chain)
+            for client in clients
+        ]
+        shapes = [None if f is None else tuple(f.shape[1:]) for f in features]
+        units = fastpath.cohort_units(clients, template, global_state, shapes)
+        handles: list = [None] * len(clients)
+        signature = None
+        if units:
+            # Probed on the scheduler thread: worker jobs must never walk
+            # the template, which a later ``submit`` may be forwarding
+            # through for features. Same reason the planned durations are
+            # computed here and stamped onto the solved updates in the job.
+            _, signature = fastpath.head_ops(template)
+        chunks = [
+            (chunk, layout)
+            for positions, layout in units or ()
+            for chunk in _cohort_chunks(positions)
+        ]
+        for positions, layout in chunks:
+            members = [clients[i] for i in positions]
+            feats = [features[i] for i in positions]
+            secs = (
+                None
+                if timing is None
+                else [
+                    member.planned_round_seconds(template, timing)
+                    for member in members
+                ]
+            )
+
+            def job(members=members, feats=feats, layout=layout, secs=secs):
+                updates = fastpath.run_cohort(
+                    members, template, global_state, None, feats, layout,
+                    signature=signature,
+                )
+                if updates is None:
+                    # Late disagreement: the exact per-member path, each
+                    # round in a pooled replica like a per-client job.
+                    updates = []
+                    for member, member_feats in zip(members, feats):
+                        model = self._replicas.get()
+                        try:
+                            updates.append(
+                                member.run_round(
+                                    model,
+                                    global_state,
+                                    timing=timing,
+                                    features=member_feats,
+                                )
+                            )
+                        finally:
+                            self._replicas.put(model)
+                    return updates
+                if secs is not None:
+                    for update, sec in zip(updates, secs):
+                        update.train_seconds = sec
+                return updates
+
+            future = self._executor.submit(job)
+            for index, pos in enumerate(positions):
+                handles[pos] = _CohortMemberHandle(future, index)
+        for i, client in enumerate(clients):
+            if handles[i] is None:
+                handles[i] = self.submit(client, template, global_state, timing)
+        return handles
+
     def close(self):
         with self._lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
                 self._replicas = None
+
+
+class _CohortMemberHandle:
+    """One member's view of a cohort job: ``result()`` is its lane's update."""
+
+    __slots__ = ("_future", "_index")
+
+    def __init__(self, future, index: int):
+        self._future = future
+        self._index = index
+
+    def result(self) -> LocalUpdate:
+        return self._future.result()[self._index]
 
 
 # ---------------------------------------------------------------------------
@@ -326,7 +498,16 @@ def _untracked_attach(name: str) -> shared_memory.SharedMemory:
 #: feature shape) to a FusedHeadPlan, keyed like the feature segments the
 #: plans consume). All of it is plain per-process memory: a killed worker
 #: takes its plans with it, leaving nothing to clean up.
-_WORKER: dict = {"models": {}, "segments": {}, "clients": {}, "eval_plans": {}}
+_WORKER: dict = {
+    "models": {},
+    "segments": {},
+    "clients": {},
+    "eval_plans": {},
+    # Per-template cohort caches: {"probes": layout-probe plans keyed by
+    # (signature, shape), "plans": CohortPlans keyed by pool key} — the
+    # worker-process mirror of fastpath's module-level cohort plan pool.
+    "cohort_plans": {},
+}
 
 #: model replicas a worker keeps alive at once; a campaign uses one
 #: template per run, so 2 covers the running run plus its predecessor.
@@ -340,6 +521,8 @@ def _shm_worker_init() -> None:
     _WORKER["segments"] = {}
     _WORKER["clients"] = {}
     _WORKER["eval_plans"] = {}
+    _WORKER["cohort_plans"] = {}
+    _WORKER["job_pins"] = set()
 
 
 #: attachments a worker keeps mapped at once. Shard/state segments live
@@ -362,8 +545,13 @@ def _worker_segment(name: str) -> shared_memory.SharedMemory:
     if len(segments) > _WORKER_SEGMENT_CACHE:
         # Cached clients hold live views into their shard segments (and
         # shards are never budget-evicted parent-side), so those names
-        # stay pinned; everything else unmaps oldest-first.
+        # stay pinned, as is every segment of the job currently executing
+        # (a cohort job holds 1 + 2·members mappings live at once — numpy
+        # views do not reliably trip the BufferError guard below, so an
+        # LRU victim mid-job would unmap memory the job still reads);
+        # everything else unmaps oldest-first.
         pinned = {key[1] for key in _WORKER["clients"]}
+        pinned.update(_WORKER.get("job_pins", ()))
         pinned.add(name)
         for old in list(segments):
             if len(segments) <= _WORKER_SEGMENT_CACHE:
@@ -401,6 +589,7 @@ def _worker_model(name: str, nbytes: int) -> SegmentedModel:
             for key in [k for k in _WORKER["clients"] if k[0] == evicted]:
                 del _WORKER["clients"][key]
             _WORKER["eval_plans"].pop(evicted, None)
+            _WORKER["cohort_plans"].pop(evicted, None)
         _WORKER["models"][name] = model
     return model
 
@@ -414,6 +603,24 @@ def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict, dict | None]:
     shard delta (see :mod:`repro.obs.metrics`).
     """
     job = pickle.loads(job_blob)
+    # Pin this job's segments against the cache LRU (see _worker_segment):
+    # the round reads its state/feature views after later attaches, which
+    # could otherwise evict — and unmap — them mid-job.
+    pins = _WORKER.setdefault("job_pins", set())
+    pins.update(
+        name
+        for name in (
+            job["state_name"], job["shard_name"], job.get("features_name")
+        )
+        if name
+    )
+    try:
+        return _shm_client_solve(job)
+    finally:
+        pins.clear()
+
+
+def _shm_client_solve(job: dict) -> tuple[LocalUpdate, dict, dict | None]:
     model = _worker_model(job["template_name"], job["template_nbytes"])
     state_seg = _worker_segment(job["state_name"])
     global_state = _view_arrays(state_seg.buf, job["state_layout"])
@@ -446,6 +653,99 @@ def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict, dict | None]:
     )
 
 
+def _shm_cohort_round(job_blob: bytes) -> tuple:
+    """Worker entry point: one block-stacked cohort of client rounds.
+
+    Reconstructs each member exactly like :func:`_shm_client_round`, then
+    solves them together through a worker-cached
+    :class:`~repro.nn.fused.CohortPlan`. Returns
+    ``(theta_stack, stats, rng_states, metric_shard)``: on success
+    ``theta_stack`` is the (clients × params) θ lane stack — consumed
+    parent-side directly as flat slab lanes, never through per-key dicts —
+    and ``stats[i] = (num_selected, num_local, mean_loss)``. When the plan
+    declines late (``theta_stack`` None), ``stats`` instead carries the
+    members' LocalUpdates from the exact per-client path.
+    """
+    job = pickle.loads(job_blob)
+    # Pin every segment this job reads for its whole duration: a cohort
+    # holds 1 + 2·members mappings live at once, which can exceed the
+    # segment-cache cap — without the pins the LRU would unmap the state
+    # segment mid-job while its θ views are still being gathered.
+    pins = _WORKER.setdefault("job_pins", set())
+    pins.add(job["state_name"])
+    for member in job["members"]:
+        pins.add(member["shard_name"])
+        pins.add(member["features_name"])
+    try:
+        return _shm_cohort_solve(job)
+    finally:
+        pins.clear()
+
+
+def _shm_cohort_solve(job: dict) -> tuple:
+    baseline = obs_metrics.shard_baseline()
+    model = _worker_model(job["template_name"], job["template_nbytes"])
+    state_seg = _worker_segment(job["state_name"])
+    global_state = _view_arrays(state_seg.buf, job["state_layout"])
+    clients = []
+    features = []
+    for member in job["members"]:
+        client_key = (
+            job["template_name"], member["shard_name"], member["client_digest"]
+        )
+        client = _WORKER["clients"].get(client_key)
+        if client is None:
+            client = pickle.loads(member["client_blob"])
+            shard_seg = _worker_segment(member["shard_name"])
+            shard = _view_arrays(shard_seg.buf, member["shard_layout"])
+            client.dataset = ArrayDataset(shard["x"], shard["y"])
+            _WORKER["clients"][client_key] = client
+        client.rng = np.random.default_rng(0)
+        client.rng.bit_generator.state = member["rng_state"]
+        clients.append(client)
+        feature_seg = _worker_segment(member["features_name"])
+        features.append(
+            _view_arrays(feature_seg.buf, member["features_layout"])["f"]
+        )
+    caches = _WORKER["cohort_plans"].setdefault(
+        job["template_name"], {"probes": {}, "plans": {}}
+    )
+    shape = tuple(features[0].shape[1:])
+    layout = fastpath.aligned_cohort_layout(
+        model, shape, cache=caches["probes"]
+    )
+    solved = None
+    if layout is not None:
+        solved = fastpath.solve_cohort(
+            clients, model, global_state, features, layout,
+            plan_cache=caches["plans"],
+        )
+    if solved is None:
+        updates = [
+            client.run_round(
+                model, global_state, timing=job["timing"], features=feats
+            )
+            for client, feats in zip(clients, features)
+        ]
+        return (
+            None,
+            updates,
+            [client.rng.bit_generator.state for client in clients],
+            obs_metrics.shard_delta(baseline),
+        )
+    theta_stack, mean_losses, num_selected, num_local = solved
+    stats = [
+        (num_selected, num_local, float(mean_losses[i]))
+        for i in range(len(clients))
+    ]
+    return (
+        theta_stack,
+        stats,
+        [client.rng.bit_generator.state for client in clients],
+        obs_metrics.shard_delta(baseline),
+    )
+
+
 def _shm_eval_shard(job_blob: bytes) -> tuple[int, int, dict | None]:
     """Worker entry point: score one aligned test-set shard with current θ.
 
@@ -458,6 +758,17 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int, dict | None]:
     equal to ``np.mean`` over the whole logits matrix.
     """
     job = pickle.loads(job_blob)
+    # Same mid-job pinning as the round jobs: the eval-segment attach must
+    # not LRU-evict the state segment whose θ views are read afterwards.
+    pins = _WORKER.setdefault("job_pins", set())
+    pins.update((job["state_name"], job["eval_name"]))
+    try:
+        return _shm_eval_solve(job)
+    finally:
+        pins.clear()
+
+
+def _shm_eval_solve(job: dict) -> tuple[int, int, dict | None]:
     baseline = obs_metrics.shard_baseline()
     model = _worker_model(job["template_name"], job["template_nbytes"])
     state_seg = _worker_segment(job["state_name"])
@@ -602,6 +913,84 @@ class _ShmHandle:
         return update
 
 
+class _SharedCohortResult:
+    """Parent-side resolution of one cohort job, shared by member handles.
+
+    The first member collected resolves the worker future exactly once:
+    releases the state-slot and template references (even when the worker
+    raised — the error is cached and re-raised to every member), mirrors
+    all members' RNG advances, merges the metric shard, and wraps the θ
+    stack's lanes into slab-backed LocalUpdates. Later members read the
+    cached updates.
+    """
+
+    __slots__ = (
+        "_future", "_clients", "_slot", "_template", "_layout",
+        "_model", "_timing", "_updates", "_error",
+    )
+
+    def __init__(self, future, clients, slot, template, layout, model, timing):
+        self._future = future
+        self._clients = clients
+        self._slot = slot
+        self._template = template
+        self._layout = layout
+        self._model = model
+        self._timing = timing
+        self._updates = None
+        self._error = None
+
+    def member(self, index: int) -> LocalUpdate:
+        if self._updates is None and self._error is None:
+            self._resolve()
+        if self._error is not None:
+            raise self._error
+        return self._updates[index]
+
+    def _resolve(self) -> None:
+        try:
+            stack, stats, rng_states, metric_shard = self._future.result()
+        except BaseException as exc:  # re-raised to every member's result()
+            self._error = exc
+            return
+        finally:
+            self._slot.refs -= 1
+            self._template.refs -= 1
+        for client, rng_state in zip(self._clients, rng_states):
+            client.rng.bit_generator.state = rng_state
+        obs_metrics.merge_exported(metric_shard)
+        if stack is None:
+            # The worker's plan declined late and it ran the exact
+            # per-member path instead: stats are ready LocalUpdates.
+            self._updates = stats
+            return
+        updates = []
+        for i, client in enumerate(self._clients):
+            num_selected, num_local, mean_loss = stats[i]
+            update = fastpath.wrap_cohort_update(
+                stack[i], self._layout, num_selected, num_local, mean_loss
+            )
+            if self._timing is not None:
+                update.train_seconds = client.planned_round_seconds(
+                    self._model, self._timing
+                )
+            updates.append(update)
+        self._updates = updates
+
+
+class _ShmCohortHandle:
+    """One member's handle onto a shared cohort job result."""
+
+    __slots__ = ("_shared", "_index")
+
+    def __init__(self, shared: _SharedCohortResult, index: int):
+        self._shared = shared
+        self._index = index
+
+    def result(self) -> LocalUpdate:
+        return self._shared.member(self._index)
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Long-lived worker processes over shared-memory weights and shards.
 
@@ -636,6 +1025,7 @@ class ProcessPoolBackend(ExecutionBackend):
         persistent: bool = False,
         feature_runtime: FeatureRuntime | None = None,
         fused_solver: bool = True,
+        cohort_solver: bool = True,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -647,6 +1037,7 @@ class ProcessPoolBackend(ExecutionBackend):
         #: the fused head plan (client rounds carry their own per-client
         #: ``fused_solver`` flag inside the pickled descriptor)
         self.fused_solver = fused_solver
+        self.cohort_solver = cohort_solver
         #: frozen-feature policy: when set, client shards' ϕ(x) (and test
         #: sets for pooled evaluation) are materialised parent-side and
         #: published as segments; workers then run head-only rounds. The
@@ -670,6 +1061,7 @@ class ProcessPoolBackend(ExecutionBackend):
             "backend.process",
             {
                 "jobs": 0,
+                "cohort_jobs": 0,
                 "state_publishes": 0,
                 "state_slab_memcpys": 0,
                 "state_segments": 0,
@@ -844,7 +1236,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return _SegmentRef(shm=shm, layout=layout)
 
     def _ensure_features(
-        self, client, template: SegmentedModel
+        self, client, template: SegmentedModel, chain=None
     ) -> "_SegmentRef | None":
         """The client's ϕ(shard) feature segment, built/published on first use.
 
@@ -858,13 +1250,16 @@ class ProcessPoolBackend(ExecutionBackend):
         :meth:`~repro.fl.features.FeatureRuntime.features_for`: the hash
         *is* the invalidation mechanism, so a ϕ mutated mid-run (or a new
         template object reusing a freed id) can never be handed stale
-        features.
+        features. ``chain`` is the one sanctioned shortcut: a single
+        dispatch wave (``submit_many``) probes the chain once and shares
+        it — ϕ cannot mutate between two lookups of the same wave.
         """
         if self.feature_runtime is None or not getattr(
             client, "supports_feature_cache", True
         ):
             return None
-        chain = template.phi_prefix_chain()
+        if chain is None:
+            chain = template.phi_prefix_chain()
         if not chain:
             return None
         fingerprint = chain[-1]
@@ -948,6 +1343,85 @@ class ProcessPoolBackend(ExecutionBackend):
             self._inflight.add(future)
         future.add_done_callback(self._inflight_done)
         return _ShmHandle(future, client, slot, template_record)
+
+    def submit_many(self, clients, template, global_state, timing):
+        if (
+            len(clients) < 2
+            or not self.cohort_solver
+            or self.feature_runtime is None
+            or type(self).submit is not ProcessPoolBackend.submit
+        ):
+            return super().submit_many(clients, template, global_state, timing)
+        self._ensure_started()
+        chain = template.phi_prefix_chain()
+        features = [
+            self._ensure_features(client, template, chain=chain)
+            for client in clients
+        ]
+        shapes = [
+            None if record is None else tuple(record.layout["f"][1][1:])
+            for record in features
+        ]
+        units = fastpath.cohort_units(clients, template, global_state, shapes)
+        handles: list = [None] * len(clients)
+        if units:
+            template_record = self._ensure_template(template)
+        chunks = [
+            (chunk, layout)
+            for positions, layout in units or ()
+            for chunk in _cohort_chunks(positions)
+        ]
+        for positions, layout in chunks:
+            members = [clients[i] for i in positions]
+            slot = self._publish_state(global_state)
+            member_blobs = []
+            for i, client in zip(positions, members):
+                shard = self._ensure_shard(client)
+                record = features[i]
+                member_blobs.append(
+                    {
+                        "shard_name": shard.shm.name,
+                        "shard_layout": shard.layout,
+                        "client_blob": shard.client_blob,
+                        "client_digest": shard.digest,
+                        "features_name": record.shm.name,
+                        "features_layout": record.layout,
+                        "rng_state": client.rng.bit_generator.state,
+                    }
+                )
+            # One blob per cohort: segment names and per-member RNG states;
+            # features/shards/θ all travel through the published segments.
+            job_blob = pickle.dumps(
+                {
+                    "template_name": template_record.shm.name,
+                    "template_nbytes": template_record.nbytes,
+                    "state_name": slot.shm.name,
+                    "state_layout": slot.layout,
+                    "members": member_blobs,
+                    "timing": timing,
+                }
+            )
+            self.stats["jobs"] += 1
+            self.stats["cohort_jobs"] += 1
+            self.stats["job_payload_bytes"] += len(job_blob)
+            self.stats["max_job_payload_bytes"] = max(
+                self.stats["max_job_payload_bytes"], len(job_blob)
+            )
+            template_record.refs += 1
+            future = self._executor.submit(_shm_cohort_round, job_blob)
+            with self._inflight_lock:
+                self._inflight.add(future)
+            future.add_done_callback(self._inflight_done)
+            shared = _SharedCohortResult(
+                future, members, slot, template_record, layout, template,
+                timing,
+            )
+            for index, pos in enumerate(positions):
+                handles[pos] = _ShmCohortHandle(shared, index)
+        for i, client in enumerate(clients):
+            if handles[i] is None:
+                handles[i] = self.submit(client, template, global_state, timing)
+        return handles
 
     def _inflight_done(self, future: Future) -> None:
         with self._inflight_lock:
@@ -1367,6 +1841,7 @@ def make_backend(
     persistent: bool = False,
     feature_runtime: FeatureRuntime | None = None,
     fused_solver: bool = True,
+    cohort_solver: bool = True,
 ) -> ExecutionBackend:
     """Instantiate an execution backend by short name.
 
@@ -1375,13 +1850,19 @@ def make_backend(
     cross-run state worth pooling. ``feature_runtime`` enables the
     frozen-feature cache on any backend (see :mod:`repro.fl.features`).
     ``fused_solver`` gates the fused plan in pooled-evaluation workers
-    (client rounds carry their own per-client flag).
+    (client rounds carry their own per-client flag). ``cohort_solver``
+    gates block-stacked cohort dispatch (``submit_many`` grouping) on
+    every backend.
     """
     if name == "serial":
-        return SerialBackend(feature_runtime=feature_runtime)
+        return SerialBackend(
+            feature_runtime=feature_runtime, cohort_solver=cohort_solver
+        )
     if name == "thread":
         return ThreadPoolBackend(
-            max_workers=max_workers, feature_runtime=feature_runtime
+            max_workers=max_workers,
+            feature_runtime=feature_runtime,
+            cohort_solver=cohort_solver,
         )
     if name == "process":
         return ProcessPoolBackend(
@@ -1390,5 +1871,6 @@ def make_backend(
             persistent=persistent,
             feature_runtime=feature_runtime,
             fused_solver=fused_solver,
+            cohort_solver=cohort_solver,
         )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

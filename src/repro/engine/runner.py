@@ -212,12 +212,20 @@ def run_async_federated_training(
 
     def _dispatch_ready() -> None:
         nonlocal in_flight
+        # Phase 1 — scheduler decisions only. Every draw (candidate pick,
+        # dropout, drop fraction) happens in the exact per-client order of
+        # the original loop, but submission is deferred so phase 2 can hand
+        # the whole wave to ``backend.submit_many`` — which may group
+        # compatible clients into one block-stacked cohort job. Client
+        # rounds consume only their own RNG streams, so running them after
+        # (instead of between) the decisions is bitwise invisible.
+        planned: list[tuple] = []
         while in_flight < max_concurrency and len(log) + in_flight < max_events:
             candidates = sorted(
                 cid for cid in idle if availability.is_online(cid, clock.now)
             )
             if not candidates:
-                return
+                break
             cid = candidates[int(rng.integers(len(candidates)))]
             idle.discard(cid)
             in_flight += 1
@@ -232,26 +240,63 @@ def run_async_federated_training(
                 # from a checkpoint's idle map while the drop is pending,
                 # and its stream must survive the resume.
                 drop_fraction = float(rng.uniform(0.1, 0.9))
-                queue.push(
-                    clock.now + drop_fraction * duration,
-                    client_id=cid,
-                    dispatch_version=version,
-                    duration=drop_fraction * duration,
-                    kind="drop",
-                    rng_state=client.rng.bit_generator.state,
+                planned.append(
+                    (
+                        "drop",
+                        cid,
+                        version,
+                        drop_fraction * duration,
+                        client.rng.bit_generator.state,
+                    )
                 )
             else:
-                rng_state = client.rng.bit_generator.state
-                snapshot = server.broadcast()
+                planned.append(
+                    (
+                        "update",
+                        cid,
+                        version,
+                        duration,
+                        client.rng.bit_generator.state,
+                    )
+                )
+        if not planned:
+            return
+        # Phase 2 — grouped submission. All updates in one wave dispatch
+        # from the same model version (nothing aggregates mid-dispatch),
+        # hence from one broadcast snapshot.
+        update_cids = [p[1] for p in planned if p[0] == "update"]
+        handles: dict[int, object] = {}
+        snapshot = None
+        if update_cids:
+            snapshot = server.broadcast()
+            wave = backend.submit_many(
+                [clients[cid] for cid in update_cids],
+                server.model,
+                snapshot,
+                timing,
+            )
+            handles = dict(zip(update_cids, wave))
+        # Phase 3 — queue pushes in decision order, preserving the event
+        # heap's tie-break sequence numbers.
+        for kind, cid, version, duration, rng_state in planned:
+            if kind == "drop":
+                queue.push(
+                    clock.now + duration,
+                    client_id=cid,
+                    dispatch_version=version,
+                    duration=duration,
+                    kind="drop",
+                    rng_state=rng_state,
+                )
+            else:
                 _retain_version(version, snapshot)
-                handle = backend.submit(client, server.model, snapshot, timing)
                 queue.push(
                     clock.now + duration,
                     client_id=cid,
                     dispatch_version=version,
                     duration=duration,
                     kind="update",
-                    handle=handle,
+                    handle=handles[cid],
                     snapshot=snapshot,
                     rng_state=rng_state,
                 )
@@ -374,6 +419,14 @@ def run_async_federated_training(
         if entry is not None:
             entry[1] -= 1
         _sweep_dead_versions()
+        theta_slab = getattr(update.theta, "theta_slab", None)
+        if theta_slab is not None and theta_slab.base is not None:
+            # A cohort lane: this update's θ is a row view into its cohort
+            # job's delta stack, dead once applied (both aggregators
+            # consume the incoming θ without retaining it). Feed it to the
+            # aggregator's flat pool so async cohort rounds reuse slab
+            # buffers instead of allocating per event.
+            aggregator.recycle(update.theta)
         evaluated = applied and server.round_index % eval_every == 0
         if evaluated:
             last_accuracy = server.evaluate()

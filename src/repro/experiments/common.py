@@ -184,6 +184,7 @@ class ExperimentHarness:
         segment_pool: CampaignSegmentPool | None = None,
         feature_cache: bool = True,
         fused_solver: bool = True,
+        cohort_solver: bool = True,
         pooled_serial_eval: bool = False,
         feature_byte_budget: int | None = None,
         telemetry: "TelemetrySession | None" = None,
@@ -217,6 +218,11 @@ class ExperimentHarness:
         #: every client and to the pooled-evaluation workers; results are
         #: bitwise identical either way (repro.fl.fastpath)
         self.fused_solver = fused_solver
+        #: cohort-solver opt-out (``--no-cohort-solver``): threaded to
+        #: every client and backend; when on, backends block-stack
+        #: compatible participants into one CohortPlan job per cohort —
+        #: bitwise identical to per-client dispatch (repro.fl.fastpath)
+        self.cohort_solver = cohort_solver
         #: serve synchronous *serial* runs' evaluations from the pooled
         #: process workers even when no warm backend exists yet (spins the
         #: campaign backend up lazily at the first evaluation); a warm
@@ -283,10 +289,14 @@ class ExperimentHarness:
                     persistent=True,
                     feature_runtime=self.feature_runtime,
                     fused_solver=self.fused_solver,
+                    cohort_solver=self.cohort_solver,
                 )
             return self._campaign_backend
         return make_backend(
-            name, self.max_workers, feature_runtime=self.feature_runtime
+            name,
+            self.max_workers,
+            feature_runtime=self.feature_runtime,
+            cohort_solver=self.cohort_solver,
         )
 
     def close(self) -> None:
@@ -492,6 +502,7 @@ class ExperimentHarness:
                 rng=client_rngs[i],
                 shard_key=shard_identity + (i,),
                 fused_solver=self.fused_solver,
+                cohort_solver=self.cohort_solver,
             )
             for i, shard in enumerate(shards)
         ]

@@ -88,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-cohort-solver",
+        action="store_true",
+        help=(
+            "disable cohort grouping (block-stacked multi-client solves) "
+            "and dispatch one job per client — results are bitwise "
+            "identical either way; this just forfeits the speedup"
+        ),
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="DIR",
@@ -138,6 +147,7 @@ def run_experiments(
     max_workers: int | None = None,
     feature_cache: bool = True,
     fused_solver: bool = True,
+    cohort_solver: bool = True,
     telemetry_dir: str | None = None,
     trace: bool = False,
     telemetry_refresh: float = 0.0,
@@ -165,6 +175,7 @@ def run_experiments(
         max_workers=max_workers,
         feature_cache=feature_cache,
         fused_solver=fused_solver,
+        cohort_solver=cohort_solver,
     ) as harness:
         for experiment_id in ids:
             runner, description = get_experiment(experiment_id)
@@ -219,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.max_workers,
         feature_cache=not args.no_feature_cache,
         fused_solver=not args.no_fused_solver,
+        cohort_solver=not args.no_cohort_solver,
         telemetry_dir=telemetry_dir,
         trace=args.trace,
         telemetry_refresh=args.telemetry_refresh,

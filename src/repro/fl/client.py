@@ -43,6 +43,14 @@ class Client:
     instead of the layer graph — bitwise identical, with automatic
     per-round fallback whenever the head is not fusible. Disable (e.g.
     ``repro-experiments --no-fused-solver``) to force the graph path.
+
+    ``cohort_solver`` additionally lets backends stack this client's
+    local round with same-shaped peers into one block-stacked
+    :class:`~repro.nn.fused.CohortPlan` solve (see
+    ``repro.fl.fastpath.cohort_units``) — bitwise identical to this
+    client running alone, with per-client fallback whenever no cohort
+    forms. Disable (``--no-cohort-solver``) to force per-client
+    dispatch; implies nothing about ``fused_solver``.
     """
 
     #: whether backends may pass this client cached ϕ(x) features
@@ -59,6 +67,7 @@ class Client:
         rng: np.random.Generator,
         shard_key: tuple | None = None,
         fused_solver: bool = True,
+        cohort_solver: bool = True,
     ):
         if len(dataset) == 0:
             raise ValueError(f"client {client_id} has an empty shard")
@@ -75,6 +84,7 @@ class Client:
         self.rng = rng
         self.shard_key = shard_key
         self.fused_solver = fused_solver
+        self.cohort_solver = cohort_solver
 
     def num_samples(self) -> int:
         return len(self.dataset)

@@ -35,8 +35,9 @@ import weakref
 
 import numpy as np
 
-from repro.nn.fused import FusedHeadPlan, head_ops
+from repro.nn.fused import CohortPlan, FusedHeadPlan, head_ops
 from repro.nn.segmented import SegmentedModel
+from repro.obs import tracing
 from repro.obs.metrics import export_group
 
 #: fused-runtime counters; *exported* so increments made inside process
@@ -348,5 +349,492 @@ def client_head_plan(
             cache = {}
             _PLANS[client] = cache
     return bind_head(model, feature_shape, cache)
+
+
+# ---------------------------------------------------------------------------
+# Cohort solver: N clients' local rounds as one block-stacked solve.
+#
+# Grouping (``cohort_units``) keys this round's participants by everything
+# that shapes the solve — feature shape, shard size, selected count,
+# epochs, selector and solver hyperparameters — and hands each group of
+# ≥2 to one :class:`~repro.nn.fused.CohortPlan` (``solve_cohort``).
+# Grouping on the exact row count *is* the row-template bucketing: ragged
+# shard sizes split into separate cohorts rather than padding lanes.
+# Everything else (singletons, opt-outs, unfusible heads, exotic
+# selectors/solvers/broadcast states) falls back to the per-client path,
+# which is the reference the cohort must match bitwise; each fallback
+# reason is counted on ``solver.cohort.*``.
+# ---------------------------------------------------------------------------
+
+#: cohort-runtime counters; exported like STATS so worker-side increments
+#: (cohort_solves, plans_built) merge exactly into the parent registry
+COHORT_STATS = export_group(
+    "solver.cohort",
+    {
+        "cohorts": 0,
+        "cohort_clients": 0,
+        "cohort_solves": 0,
+        "singletons": 0,
+        "plans_built": 0,
+        "plan_evictions": 0,
+        "fallback_features": 0,
+        "fallback_opt_out": 0,
+        "fallback_custom_client": 0,
+        "fallback_unfusible": 0,
+        "fallback_selector": 0,
+        "fallback_solver": 0,
+        "fallback_config": 0,
+        "fallback_state": 0,
+    },
+)
+
+#: checkout pool of idle cohort plans, keyed by the full constructor tuple
+#: (signature, shape, lanes, rows, selected, batch_size, epochs). Checkout
+#: (not a plain cache) because the thread backend can have two same-key
+#: cohorts in flight at once; at most ``_COHORT_POOL_CAP`` idle plans are
+#: retained per key. Guarded by ``_PLANS_LOCK``.
+_COHORT_POOL: dict[tuple, list] = {}
+_COHORT_POOL_CAP = 4
+
+#: layout-probe plans for ``aligned_cohort_layout``, scoped by the model's
+#: θ key names (two models may share a head signature yet communicate
+#: differently-named θ — e.g. different partial levels). Guarded by
+#: ``_PLANS_LOCK``.
+_PROBES: dict[tuple, dict] = {}
+
+
+def _stackable(signature: tuple) -> bool:
+    """Whether :class:`~repro.nn.fused.CohortPlan` can stack this head."""
+    for op in signature:
+        if op[0] == "linear":
+            if not (op[4] and op[5] == op[3]):
+                return False
+        elif op[0] not in ("relu", "flatten"):
+            return False
+    return True
+
+
+def aligned_cohort_layout(model, feature_shape, cache=None):
+    """The θ slab layout cohort lanes share with the server, or None.
+
+    Probes the model's fusible head once (probe plans are cached — pass
+    ``cache`` when the caller owns scoping, e.g. the process worker's
+    per-template dict) and returns the plan-aligned
+    :class:`~repro.fl.slab.SlabLayout`: lane offsets equal server-slab
+    offsets, so a matching broadcast slab loads by memcpy and lane rows
+    ship back as :class:`~repro.fl.slab.SlabState` updates. None when the
+    head is unfusible, the communicated θ is not exactly the head's
+    trainable set, or the packings cannot align.
+    """
+    if cache is not None:
+        bound = bind_head(model, feature_shape, cache)
+        if bound is None or bound._theta_map(model) is None:
+            return None
+        return bound._plan_theta_layout()
+    from repro.nn.serialization import theta_keys
+
+    scope = tuple(theta_keys(model))
+    with _PLANS_LOCK:
+        sub = _PROBES.setdefault(scope, {})
+        bound = bind_head(model, feature_shape, sub)
+        if bound is None or bound._theta_map(model) is None:
+            return None
+        return bound._plan_theta_layout()
+
+
+def _cohort_key(client, model, global_state, shape, layouts):
+    """``(None, grouping key)`` when the client can join a cohort, else
+    ``(fallback reason, None)``; ``layouts`` caches shape → layout probes."""
+    from repro.fl.client import Client
+    from repro.fl.selection import (
+        EntropySelector,
+        FullSelector,
+        RandomSelector,
+        selected_count,
+    )
+    from repro.fl.strategies import LocalSolver
+
+    if shape is None:
+        return "features", None
+    if not (
+        getattr(client, "fused_solver", True)
+        and getattr(client, "cohort_solver", True)
+        and getattr(client, "supports_feature_cache", False)
+    ):
+        return "opt_out", None
+    # The cohort replays Client.run_round's exact sequence; a subclass
+    # that overrides it (e.g. tiered clients) defines different semantics.
+    if type(client).run_round is not Client.run_round:
+        return "custom_client", None
+    shape = tuple(shape)
+    if len(shape) != 1:
+        return "unfusible", None
+    selector = client.selector
+    stype = type(selector)
+    if stype is EntropySelector:
+        sel_key = ("entropy", float(selector.temperature), int(selector.batch_size))
+    elif stype is RandomSelector:
+        sel_key = ("random",)
+    elif stype is FullSelector:
+        sel_key = ("full",)
+    else:
+        return "selector", None
+    solver = client.solver
+    if type(solver) is not LocalSolver:
+        return "solver", None
+    n = len(client.dataset)
+    epochs = int(client.epochs)
+    if n < 1 or epochs < 1 or int(solver.batch_size) < 1:
+        return "config", None
+    if stype is FullSelector:
+        if client.selection_fraction != 1.0:
+            return "config", None  # per-client select() raises its usual error
+        k = n
+    else:
+        try:
+            k = selected_count(n, client.selection_fraction)
+        except ValueError:
+            return "config", None
+    if shape not in layouts:
+        layouts[shape] = aligned_cohort_layout(model, shape)
+    layout = layouts[shape]
+    if layout is None:
+        return "unfusible", None
+    # The broadcast must cover the lane layout: either the server slab
+    # matches it outright (θ loads by one memcpy) or every layout key
+    # resolves with its shape (θ loads by ``layout.gather``). Either way
+    # FedProx references are covered too — they are these same values.
+    slab = getattr(global_state, "theta_slab", None)
+    if slab is None or global_state.layout.signature != layout.signature:
+        get = getattr(global_state, "get", None)
+        if get is None:
+            return "state", None
+        for key, kshape in layout.signature:
+            value = get(key)
+            if (
+                not isinstance(value, np.ndarray)
+                or value.shape != kshape
+                or value.dtype != np.float64
+            ):
+                return "state", None
+    solver_key = (
+        float(solver.lr),
+        float(solver.momentum),
+        float(solver.weight_decay),
+        float(solver.prox_mu),
+        int(solver.batch_size),
+    )
+    return None, (shape, n, k, epochs, sel_key, solver_key)
+
+
+def cohort_units(clients, model, global_state, feature_shapes, min_size=2):
+    """Group a round's participants into stackable cohorts.
+
+    ``feature_shapes[i]`` is client *i*'s cached-feature trailing shape
+    (None when no features are available — that client can never join).
+    Returns ``[(positions, layout), ...]`` — each a cohort of
+    ``min_size``-plus positions into ``clients`` sharing one grouping key,
+    with the θ slab layout its lanes use — or None when no cohort formed.
+    Positions not covered by any cohort stay on the per-client path.
+    """
+    if len(clients) < int(min_size):
+        return None
+    layers, signature = head_ops(model)
+    if layers is None or not _stackable(signature):
+        COHORT_STATS["fallback_unfusible"] += len(clients)
+        return None
+    layouts: dict[tuple, object] = {}
+    groups: dict[tuple, list[int]] = {}
+    for pos, (client, shape) in enumerate(zip(clients, feature_shapes)):
+        reason, key = _cohort_key(client, model, global_state, shape, layouts)
+        if key is None:
+            COHORT_STATS["fallback_" + reason] += 1
+            continue
+        groups.setdefault(key, []).append(pos)
+    units = []
+    for key, positions in groups.items():
+        if len(positions) < int(min_size):
+            COHORT_STATS["singletons"] += len(positions)
+            continue
+        units.append((positions, layouts[key[0]]))
+        COHORT_STATS["cohorts"] += 1
+        COHORT_STATS["cohort_clients"] += len(positions)
+    return units or None
+
+
+def _build_cohort_plan(pool_key):
+    signature, shape, lanes, rows, selected, batch_size, epochs = pool_key
+    try:
+        plan = CohortPlan(
+            signature, shape, lanes, rows, selected, batch_size, epochs
+        )
+    except ValueError:
+        return None
+    COHORT_STATS["plans_built"] += 1
+    return plan
+
+
+def _acquire_cohort_plan(pool_key, plan_cache=None):
+    """A plan for the key — from ``plan_cache`` (worker-owned, plan stays
+    cached) or checked out of the module pool; None if unplannable."""
+    if plan_cache is not None:
+        plan = plan_cache.get(pool_key)
+        if plan is None:
+            plan = _build_cohort_plan(pool_key)
+            if plan is not None:
+                plan_cache[pool_key] = plan
+        return plan
+    with _PLANS_LOCK:
+        stack = _COHORT_POOL.get(pool_key)
+        if stack:
+            return stack.pop()
+    return _build_cohort_plan(pool_key)
+
+
+def _release_cohort_plan(pool_key, plan, plan_cache=None):
+    if plan_cache is not None:
+        return
+    with _PLANS_LOCK:
+        stack = _COHORT_POOL.setdefault(pool_key, [])
+        if len(stack) < _COHORT_POOL_CAP:
+            stack.append(plan)
+
+
+def solve_cohort(
+    clients,
+    model,
+    global_state,
+    features_list,
+    layout,
+    plan_cache=None,
+    signature=None,
+):
+    """Solve one cohort's local rounds in a single block-stacked plan.
+
+    Preconditions (``cohort_units`` guarantees them): the clients share
+    one grouping key, ``features_list[i]`` is client *i*'s full-shard
+    features, and ``layout`` is their shared θ slab layout. Returns
+    ``(theta stack (N × params), per-lane mean losses, selected, rows)``
+    or None on a late disagreement (the caller then dispatches the
+    members per client, which reproduces reference behaviour exactly).
+
+    Bitwise contract: every RNG draw is taken from each client's own
+    generator in exactly ``Client.run_round``'s order — the selection
+    draw (random selector only), then one ``permutation(k)`` per epoch —
+    and every kernel replays the per-client fused op sequence (see
+    :class:`~repro.nn.fused.CohortPlan`), so lane *i*'s θ bytes, losses
+    and RNG end state equal client *i*'s solo fused round.
+    """
+    from repro.fl.selection import (
+        EntropySelector,
+        FullSelector,
+        RandomSelector,
+        selected_count,
+    )
+
+    first = clients[0]
+    n = len(first.dataset)
+    shape = tuple(features_list[0].shape[1:])
+    for client, feats in zip(clients, features_list):
+        if feats is None or feats.shape != (n,) + shape:
+            return None
+    selector = first.selector
+    stype = type(selector)
+    k = n if stype is FullSelector else selected_count(n, first.selection_fraction)
+    solver = first.solver
+    epochs = int(first.epochs)
+    lanes = len(clients)
+    if signature is None:
+        # ``signature`` lets thread-backend jobs skip this probe: it walks
+        # the template model, which the scheduler may be forwarding through
+        # concurrently for another client's features.
+        layers, signature = head_ops(model)
+        if layers is None:
+            return None
+    pool_key = (signature, shape, lanes, n, k, int(solver.batch_size), epochs)
+    plan = _acquire_cohort_plan(pool_key, plan_cache)
+    if plan is None:
+        return None
+    try:
+        slab = getattr(global_state, "theta_slab", None)
+        if slab is not None and global_state.layout.signature == layout.signature:
+            plan.theta_row[...] = slab
+        else:
+            layout.gather(global_state, plan.theta_row)
+        for i, (client, feats) in enumerate(zip(clients, features_list)):
+            plan.features[i] = feats
+            plan.labels[i] = client.dataset.arrays()[1]
+        if stype is EntropySelector:
+            with tracing.span("selection.entropy"):
+                entropy = plan.entropy_scores(
+                    selector.temperature, selector.batch_size
+                )
+            for i in range(lanes):
+                lane = entropy[i * n : (i + 1) * n]
+                top = np.argpartition(lane, n - k)[n - k:]
+                plan.selected_idx[i] = np.sort(top)
+        elif stype is RandomSelector:
+            for i, client in enumerate(clients):
+                plan.selected_idx[i] = np.sort(
+                    client.rng.choice(n, size=k, replace=False)
+                )
+        else:
+            plan.selected_idx[...] = np.arange(n)
+        plan.gather_selected()
+        for i, client in enumerate(clients):
+            for epoch in range(epochs):
+                plan.perms[epoch, i] = client.rng.permutation(k)
+        with tracing.span("solver.cohort"):
+            mean_losses = plan.train(
+                lr=solver.lr,
+                momentum=solver.momentum,
+                weight_decay=solver.weight_decay,
+                prox_mu=solver.prox_mu,
+            )
+        theta_stack = plan._data_stack.copy()
+        COHORT_STATS["cohort_solves"] += 1
+        return theta_stack, mean_losses, k, n
+    finally:
+        _release_cohort_plan(pool_key, plan, plan_cache)
+
+
+def wrap_cohort_update(row, layout, num_selected, num_local, mean_loss):
+    """One lane of a cohort's θ stack as a slab-backed LocalUpdate."""
+    from repro.fl.slab import SlabState
+    from repro.fl.strategies import LocalUpdate
+
+    snap = SlabState()
+    snap.layout = layout
+    snap.theta_slab = row
+    snap.update(layout.views(row))
+    return LocalUpdate(
+        theta=snap,
+        num_selected=int(num_selected),
+        num_local=int(num_local),
+        mean_loss=float(mean_loss),
+    )
+
+
+def run_cohort(
+    clients,
+    model,
+    global_state,
+    timing,
+    features_list,
+    layout=None,
+    signature=None,
+):
+    """Solve one cohort in-process; LocalUpdates in client order, or None.
+
+    None sends every member to the exact per-client path (the grouping
+    was optimistic; late disagreements like feature-shape drift or
+    unplannable dimensions must not change results).
+    """
+    if layout is None:
+        layout = aligned_cohort_layout(model, tuple(features_list[0].shape[1:]))
+        if layout is None:
+            return None
+    solved = solve_cohort(
+        clients, model, global_state, features_list, layout,
+        signature=signature,
+    )
+    if solved is None:
+        return None
+    theta_stack, mean_losses, k, n = solved
+    updates = []
+    for i, client in enumerate(clients):
+        update = wrap_cohort_update(
+            theta_stack[i], layout, k, n, mean_losses[i]
+        )
+        if timing is not None:
+            update.train_seconds = client.planned_round_seconds(model, timing)
+        updates.append(update)
+    return updates
+
+
+def plan_cache_nbytes() -> int:
+    """Total bytes held by cached solver plans (per-client, probe, cohort).
+
+    This is the figure the :class:`~repro.fl.features.FeatureRuntime`
+    byte budget charges — plan workspaces compete with cached features
+    for the same budget and are spilled by :func:`trim_plan_caches`.
+    """
+    with _PLANS_LOCK:
+        return _plan_bytes_locked()
+
+
+def _plan_bytes_locked() -> int:
+    total = 0
+    for cache in _PLANS.values():
+        for plan in cache.values():
+            if plan is not None:
+                total += plan.nbytes
+    for sub in _PROBES.values():
+        for plan in sub.values():
+            if plan is not None:
+                total += plan.nbytes
+    for stack in _COHORT_POOL.values():
+        for plan in stack:
+            total += plan.nbytes
+    return total
+
+
+def trim_plan_caches(target_bytes: int) -> tuple[int, int]:
+    """Evict cached plans until held bytes fit ``target_bytes``.
+
+    Returns ``(bytes freed, plans evicted)``. Eviction order: idle cohort
+    pool plans first (largest, rebuilt cheapest), then per-client plans,
+    then layout probes. Checked-out cohort plans (in-flight solves) are
+    never touched — they return to a pool that may then be over budget
+    until the next trim. Remembered planning *failures* (None entries)
+    are kept: they are free and save a doomed re-plan.
+    """
+    freed = 0
+    count = 0
+    with _PLANS_LOCK:
+        total = _plan_bytes_locked()
+        for key in list(_COHORT_POOL):
+            stack = _COHORT_POOL[key]
+            while stack and total > target_bytes:
+                nb = stack.pop().nbytes
+                total -= nb
+                freed += nb
+                count += 1
+            if not stack:
+                del _COHORT_POOL[key]
+        if total > target_bytes:
+            for cache in list(_PLANS.values()):
+                for ckey in list(cache):
+                    plan = cache[ckey]
+                    if plan is None:
+                        continue
+                    del cache[ckey]
+                    total -= plan.nbytes
+                    freed += plan.nbytes
+                    count += 1
+                    if total <= target_bytes:
+                        break
+                if total <= target_bytes:
+                    break
+        if total > target_bytes:
+            for scope in list(_PROBES):
+                sub = _PROBES[scope]
+                for ckey in list(sub):
+                    plan = sub[ckey]
+                    if plan is None:
+                        continue
+                    del sub[ckey]
+                    total -= plan.nbytes
+                    freed += plan.nbytes
+                    count += 1
+                    if total <= target_bytes:
+                        break
+                if not sub:
+                    del _PROBES[scope]
+                if total <= target_bytes:
+                    break
+    if count:
+        COHORT_STATS["plan_evictions"] += count
+    return freed, count
 
 

@@ -229,6 +229,7 @@ class FeatureRuntime:
                 "hits": 0,
                 "derived": 0,
                 "evictions": 0,
+                "plan_evictions": 0,
                 "bytes": 0,
             },
         )
@@ -283,10 +284,23 @@ class FeatureRuntime:
     def trim(self, byte_budget: int = 0, protect: tuple | None = None) -> int:
         """Evict LRU keyed entries until at most ``byte_budget`` bytes stay.
 
-        ``protect`` (the entry just inserted) is never evicted, so one
-        oversized shard cannot thrash itself out of its own round. Returns
-        the number of entries evicted.
+        Fused/cohort plan workspaces (the module-level caches in
+        :mod:`repro.fl.fastpath`) count against the same budget and spill
+        first: a plan is cheap-to-rebuild scratch, a feature entry costs a
+        full forward over the shard. Plans are trimmed to whatever budget
+        the features leave; the feature LRU below then behaves exactly as
+        if no plans existed. ``protect`` (the entry just inserted) is
+        never evicted, so one oversized shard cannot thrash itself out of
+        its own round. Returns the number of entries evicted (features
+        only; plan evictions land in ``stats["plan_evictions"]``).
         """
+        from repro.fl import fastpath
+
+        if self.stats["bytes"] + fastpath.plan_cache_nbytes() > byte_budget:
+            _, count = fastpath.trim_plan_caches(
+                max(0, byte_budget - self.stats["bytes"])
+            )
+            self.stats["plan_evictions"] += count
         evicted = 0
         while self.stats["bytes"] > byte_budget:
             victim = next(
@@ -299,7 +313,9 @@ class FeatureRuntime:
             evicted += 1
         return evicted
 
-    def features_for(self, client, model: SegmentedModel) -> np.ndarray | None:
+    def features_for(
+        self, client, model: SegmentedModel, chain=None
+    ) -> np.ndarray | None:
         """Cached ϕ(shard) for ``client`` under ``model``'s frozen prefix.
 
         Returns None when the model has no frozen prefix (nothing to
@@ -310,11 +326,16 @@ class FeatureRuntime:
         than memoized per model: the O(|ϕ|) hash *is* the invalidation
         mechanism (a mutated ϕ must never be served stale features), and
         it is orders of magnitude cheaper than the O(n·FLOPs) forward it
-        replaces — the benchmark's speedup already includes this tax.
+        replaces — the benchmark's speedup already includes this tax. The
+        one sanctioned exception is ``chain``: a scheduler dispatching a
+        single round's wave may probe ``model.phi_prefix_chain()`` once
+        and share it across the wave's lookups — nothing can mutate ϕ
+        between two lookups of the same dispatch.
         """
         if not getattr(client, "supports_feature_cache", True):
             return None
-        chain = model.phi_prefix_chain()
+        if chain is None:
+            chain = model.phi_prefix_chain()
         if not chain:
             return None
         fingerprint = chain[-1]

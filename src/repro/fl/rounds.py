@@ -92,6 +92,57 @@ class TrainingHistory:
         return None
 
 
+def _inline_local_rounds(
+    participants, model, broadcast, timing, feature_runtime
+) -> list:
+    """One round's local solves on the inline no-backend path.
+
+    With a feature runtime, compatible participants are grouped into
+    block-stacked cohort solves (:func:`repro.fl.fastpath.cohort_units`);
+    everyone else runs the per-client path. Updates come back in
+    participant order and each client's RNG stream advances exactly as if
+    it had run alone, so the grouping is bitwise invisible.
+    """
+
+    # One ϕ fingerprint probe covers the whole round's lookups: nothing
+    # can mutate the frozen prefix between two clients of one round.
+    chain = model.phi_prefix_chain() if feature_runtime is not None else None
+
+    def features_for(client):
+        return (
+            feature_runtime.features_for(client, model, chain=chain)
+            if feature_runtime is not None
+            else None
+        )
+
+    updates: list = [None] * len(participants)
+    if feature_runtime is not None and len(participants) > 1:
+        from repro.fl import fastpath
+
+        features = [features_for(client) for client in participants]
+        shapes = [None if f is None else tuple(f.shape[1:]) for f in features]
+        units = fastpath.cohort_units(participants, model, broadcast, shapes)
+        for positions, layout in units or ():
+            solved = fastpath.run_cohort(
+                [participants[i] for i in positions],
+                model,
+                broadcast,
+                timing,
+                [features[i] for i in positions],
+                layout,
+            )
+            if solved is None:
+                continue  # late disagreement: members fall through below
+            for pos, update in zip(positions, solved):
+                updates[pos] = update
+    for i, client in enumerate(participants):
+        if updates[i] is None:
+            updates[i] = client.run_round(
+                model, broadcast, timing=timing, features=features_for(client)
+            )
+    return updates
+
+
 def run_federated_training(
     server: Server,
     clients: list[Client],
@@ -166,19 +217,10 @@ def run_federated_training(
         participants = [clients[int(cid)] for cid in chosen]
         with tracing.span("round.local_solve"):
             if backend is None:
-                updates = [
-                    client.run_round(
-                        server.model,
-                        broadcast,
-                        timing=timing,
-                        features=(
-                            feature_runtime.features_for(client, server.model)
-                            if feature_runtime is not None
-                            else None
-                        ),
-                    )
-                    for client in participants
-                ]
+                updates = _inline_local_rounds(
+                    participants, server.model, broadcast, timing,
+                    feature_runtime,
+                )
             else:
                 updates = backend.map_round(
                     participants, server.model, broadcast, timing

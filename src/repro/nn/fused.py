@@ -760,3 +760,529 @@ class FusedHeadPlan:
             )
         self._release_inputs()
         return correct
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of workspace this plan owns (flats + lazy row workspaces).
+
+        Counts owning arrays only (``base is None``): the per-parameter
+        slot views all alias the six flats and must not double-count.
+        The number feeds the :class:`repro.fl.features.FeatureRuntime`
+        byte-budget accounting so fused-plan workspaces participate in
+        the LRU spill policy like cached feature arrays do.
+        """
+        return _owned_nbytes(
+            (
+                self._acc_flat,
+                self._tmp_flat,
+                self._t1_flat,
+                self._vel_flat,
+                self._data_flat,
+                self._ref_flat,
+            ),
+            self._row_ws.values(),
+            self._score_ws.values(),
+            self._loss_hist.values(),
+        )
+
+
+def _owned_nbytes(*containers) -> int:
+    """Total bytes of every *owning* ndarray reachable from ``containers``.
+
+    Walks nested dicts/lists/tuples one level deep per container element
+    (workspace dicts hold buffer tuples; loss objects expose their buffers
+    via ``vars``). Views (``base is not None``) are skipped so slot views
+    into flat slabs never double-count, and shared arrays count once.
+    """
+    seen: set[int] = set()
+    total = 0
+    stack = [containers]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, np.ndarray):
+            if obj.base is None and id(obj) not in seen:
+                seen.add(id(obj))
+                total += obj.nbytes
+        elif isinstance(obj, dict):
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+        elif isinstance(obj, FusedCrossEntropy):
+            stack.extend(vars(obj).values())
+        elif hasattr(obj, "__iter__") and not isinstance(obj, (str, bytes)):
+            stack.extend(obj)
+    return total
+
+
+class CohortPlan:
+    """Block-stacked local solves for N same-shaped clients at once.
+
+    Where :class:`FusedHeadPlan` removes per-*step* interpreter overhead
+    for one client, a ``CohortPlan`` removes per-*client* overhead for a
+    whole cohort: N clients that share a head signature, feature shape,
+    shard row count, selection size and solver hyperparameters execute
+    their local rounds as batched 3-D GEMMs over stacked workspaces —
+    one kernel launch per (layer, 32-row tile) for the entire cohort
+    instead of per client.
+
+    Bitwise-identity contract
+    -------------------------
+    The stacked solve must be indistinguishable from N independent
+    :class:`FusedHeadPlan` solves. That holds because:
+
+    - Every per-client operation is row-independent (GEMM output rows are
+      dot products of their own input row; ReLU/softmax/update kernels
+      are elementwise or rowwise), so stacking lanes cannot perturb a
+      lane's bits.
+    - Forward GEMMs replay :func:`~repro.nn.linear.row_canonical_matmul_into`'s
+      exact 32-row tile partition per lane: chunk boundaries (selection
+      scoring) and minibatch row counts are identical across lanes by
+      construction, so tile ``t`` of lane ``i`` multiplies the same
+      (32 × in) block against the same weights as the per-client plan —
+      batched ``np.matmul`` dispatches the same fixed-shape dgemm per
+      lane slice (remainder tiles go through the same zero-padded
+      32-row scratch).
+    - Backward GEMMs (``xᵀ·g`` per lane, ``g·Wᵀ`` per lane) and bias
+      reductions (``sum(axis=1)`` ≡ per-lane ``sum(axis=0)``) use the
+      same per-slice BLAS calls; the SGD update runs the exact
+      :meth:`FusedHeadPlan._step` ufunc sequence over a (N × slot_total)
+      stack (elementwise, so lane ``i`` sees precisely its own flat
+      update).
+    - The loss replays :class:`~repro.nn.losses.FusedCrossEntropy` op for
+      op on the (N·b × classes) row stack, extracting per-lane scalars
+      as ``−tmp[lane].sum() / b`` — the same pairwise reduction over the
+      same contiguous block.
+    - All RNG draws are planned ahead **per client stream** in client
+      order — the optional selection draw, then one ``permutation(k)``
+      per epoch — exactly the sequence ``Client.run_round`` consumes, so
+      every client's generator advances identically.
+
+    Scope: training cohorts support ``linear``/``relu`` chains over 1-D
+    features (``flatten`` over 1-D features is an identity and admitted)
+    with every θ parameter trainable — anything else falls back to
+    per-client plans at the grouping layer (:mod:`repro.fl.fastpath`).
+    """
+
+    def __init__(
+        self,
+        signature: tuple,
+        feature_shape: tuple,
+        lanes: int,
+        rows: int,
+        selected: int,
+        batch_size: int,
+        epochs: int,
+    ):
+        proto = FusedHeadPlan(signature, feature_shape)  # validates shapes
+        if proto.eval_only:
+            raise ValueError("cohort plans require a trainable head")
+        if len(proto.feature_shape) != 1:
+            raise ValueError("cohort plans require 1-D (flat) features")
+        for op in signature:
+            if op[0] not in ("linear", "relu", "flatten"):
+                raise ValueError(f"cohort plans cannot stack {op[0]!r} ops")
+            if op[0] == "linear" and not (op[4] and op[5] == op[3]):
+                # forward reads weights from the stacked slab, so every
+                # present parameter must own a slot
+                raise ValueError("cohort plans require fully-trainable heads")
+        if not (
+            lanes >= 1
+            and rows >= 1
+            and 1 <= selected <= rows
+            and batch_size >= 1
+            and epochs >= 1
+        ):
+            raise ValueError("invalid cohort dimensions")
+        self.signature = signature
+        self.feature_shape = proto.feature_shape
+        self.num_classes = proto.num_classes
+        self.lanes = lanes
+        self.rows = rows
+        self.selected = selected
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.slot_total = proto.slot_total
+        self.slot_offsets = proto.slot_offsets
+        self.trainable_slots = proto.trainable_slots
+        self._shapes = proto._shapes
+        self._lowest = proto._lowest
+        f = self.feature_shape[0]
+        #: per-lane raw shard data, copied in per round
+        self.features = np.zeros((lanes, rows, f))
+        self.labels = np.zeros((lanes, rows), dtype=np.int64)
+        #: per-lane selected subsets, gathered by :meth:`gather_selected`
+        self.selected_idx = np.zeros((lanes, selected), dtype=np.int64)
+        self.sel_features = np.zeros((lanes * selected, f))
+        self._sel_labels = np.zeros(lanes * selected, dtype=np.int64)
+        #: planned-ahead epoch permutations, one client stream per lane
+        self.perms = np.zeros((epochs, lanes, selected), dtype=np.int64)
+        self._abs_idx = np.empty((lanes, selected), dtype=np.int64)
+        self._row_base = (np.arange(lanes, dtype=np.int64) * rows)[:, None]
+        self._sel_base = (np.arange(lanes, dtype=np.int64) * selected)[:, None]
+        # Optimiser-state lanes: the exact FusedHeadPlan flats, one row
+        # per client, zero-initialised so inter-slot pads hold +0.0.
+        total = self.slot_total
+        self._acc_stack = np.zeros((lanes, total))
+        self._tmp_stack = np.zeros((lanes, total))
+        self._t1_stack = np.zeros((lanes, total))
+        self._vel_stack = np.zeros((lanes, total))
+        self._data_stack = np.zeros((lanes, total))
+        #: the broadcast θ row — every lane starts from it, and it doubles
+        #: as the FedProx reference (the reference IS the broadcast θ)
+        self.theta_row = np.zeros(total)
+        # per-slot views: lane-stacked (into _data/_tmp stacks) and shared
+        # (into theta_row, used by selection scoring at broadcast θ)
+        self._lane_w: dict[tuple[int, str], np.ndarray] = {}
+        self._lane_tmp: dict[tuple[int, str], np.ndarray] = {}
+        self._shared_w: dict[tuple[int, str], np.ndarray] = {}
+        for (i, attr), offset in zip(self.trainable_slots, self.slot_offsets):
+            op = signature[i]
+            shape = (op[1], op[2]) if attr == "w" else (op[2],)
+            size = int(np.prod(shape))
+            self._lane_w[(i, attr)] = self._data_stack[
+                :, offset : offset + size
+            ].reshape((lanes,) + shape)
+            self._lane_tmp[(i, attr)] = self._tmp_stack[
+                :, offset : offset + size
+            ].reshape((lanes,) + shape)
+            self._shared_w[(i, attr)] = self.theta_row[
+                offset : offset + size
+            ].reshape(shape)
+        steps_per_epoch = -(-selected // batch_size)
+        self._losses = np.zeros((lanes, epochs * steps_per_epoch))
+        # scoring buffers: logits stack filled chunkwise, then the entropy
+        # ufunc chain over the (N·rows × classes) row stack
+        c = self.num_classes
+        nr = lanes * rows
+        self._score = {
+            "logits": np.empty((lanes, rows, c)),
+            "z": np.empty((nr, c)),
+            "p": np.empty((nr, c)),
+            "tmp": np.empty((nr, c)),
+            "m": np.empty((nr, 1)),
+            "s": np.empty((nr, 1)),
+            "entropy": np.empty(nr),
+        }
+        self._score_ws: dict[int, dict] = {}
+        self._train_row_ws: dict[int, dict] = {}
+
+    # -- workspaces ----------------------------------------------------------
+    def _fprog(self, rows: int) -> list[tuple]:
+        """Stacked forward program for one per-lane row count."""
+        lanes = self.lanes
+        fprog: list[tuple] = []
+        for i, (op, (in_shape, out_shape)) in enumerate(
+            zip(self.signature, self._shapes)
+        ):
+            kind = op[0]
+            if kind == "linear":
+                out = np.empty((lanes, rows) + out_shape)
+                if rows % _TILE:
+                    pad_in = np.zeros((lanes, _TILE) + in_shape)
+                    pad_out = np.empty((lanes, _TILE) + out_shape)
+                else:
+                    pad_in = pad_out = None
+                fprog.append(("lin", i, out, pad_in, pad_out, op[3]))
+            elif kind == "relu":
+                mask = np.empty((lanes, rows) + in_shape, dtype=bool)
+                fprog.append(
+                    ("relu", i, mask, np.empty((lanes, rows) + out_shape))
+                )
+            else:  # flatten over 1-D features: exact identity
+                fprog.append(("flat", i))
+        return fprog
+
+    def _score_chunk_ws(self, rows: int) -> dict:
+        ws = self._score_ws.get(rows)
+        if ws is None:
+            ws = {"fprog": self._fprog(rows), "inputs": [None] * len(self.signature)}
+            self._score_ws[rows] = ws
+        return ws
+
+    def _train_ws(self, rows: int) -> dict:
+        ws = self._train_row_ws.get(rows)
+        if ws is not None:
+            return ws
+        lanes = self.lanes
+        fprog = self._fprog(rows)
+        bprog: list[tuple] = []
+        bsum: dict[int, np.ndarray] = {}
+        for step in fprog:
+            kind, i = step[0], step[1]
+            in_shape, _ = self._shapes[i]
+            op = self.signature[i]
+            if kind == "lin":
+                if i >= self._lowest:
+                    gin = (
+                        np.empty((lanes, rows) + in_shape)
+                        if i > self._lowest
+                        else None
+                    )
+                    if op[5]:  # bias grad: contiguous reduce then slot copy
+                        bsum[i] = np.empty((lanes, op[2]))
+                    bprog.append(("lin", i, gin, op[5]))
+            elif kind == "relu":
+                if i > self._lowest:
+                    bprog.append(
+                        ("relu", i, step[2], np.empty((lanes, rows) + in_shape))
+                    )
+            # flat over 1-D features: identity both ways, no bprog entry
+        bprog.reverse()
+        c = self.num_classes
+        nr = lanes * rows
+        ws = {
+            "fprog": fprog,
+            "bprog": bprog,
+            "bsum": bsum,
+            "inputs": [None] * len(self.signature),
+            "idx": np.empty((lanes, rows), dtype=np.int64),
+            "x": np.empty((lanes, rows) + self.feature_shape),
+            "y": np.empty((lanes, rows), dtype=np.int64),
+            # FusedCrossEntropy's buffers, row-stacked across lanes
+            "rows": np.arange(nr),
+            "target": np.empty((nr, c)),
+            "probs": np.empty((nr, c)),
+            "ltmp": np.empty((nr, c)),
+            "m": np.empty((nr, 1)),
+            "s": np.empty((nr, 1)),
+            "lsum": np.empty(lanes),
+        }
+        self._train_row_ws[rows] = ws
+        return ws
+
+    # -- kernels -------------------------------------------------------------
+    def _forward(self, ws: dict, x: np.ndarray, per_lane: bool) -> np.ndarray:
+        """Stacked head forward; per-lane weights (training, from the data
+        stack) or shared weights (selection scoring, at broadcast θ).
+
+        Replays ``row_canonical_matmul_into``'s tiling per lane: full
+        32-row tiles as one batched matmul each, the remainder through a
+        zero-padded 32-row scratch — so every lane's tile partition (and
+        therefore its bits) matches the per-client plan exactly.
+        """
+        inputs = ws["inputs"]
+        current = x
+        for step in ws["fprog"]:
+            kind = step[0]
+            inputs[step[1]] = current
+            if kind == "lin":
+                _, i, out, pad_in, pad_out, has_bias = step
+                if per_lane:
+                    w = self._lane_w[(i, "w")]
+                    b = self._lane_w.get((i, "b"))
+                    if b is not None:
+                        b = b[:, None, :]
+                else:
+                    w = self._shared_w[(i, "w")]
+                    b = self._shared_w.get((i, "b"))
+                rows = current.shape[1]
+                full = (rows // _TILE) * _TILE
+                for t in range(0, full, _TILE):
+                    np.matmul(
+                        current[:, t : t + _TILE], w, out=out[:, t : t + _TILE]
+                    )
+                if rows - full:
+                    remainder = rows - full
+                    pad_in[:, :remainder] = current[:, full:]
+                    np.matmul(pad_in, w, out=pad_out)
+                    out[:, full:] = pad_out[:, :remainder]
+                if has_bias:
+                    np.add(out, b, out=out)
+                current = out
+            elif kind == "relu":
+                _, _, mask, out = step
+                np.greater(current, 0.0, out=mask)
+                out[...] = 0.0
+                np.copyto(out, current, where=mask)
+                current = out
+            # flat: identity over 1-D features
+        return current
+
+    def _backward(self, ws: dict, grad: np.ndarray) -> None:
+        inputs = ws["inputs"]
+        for step in ws["bprog"]:
+            kind = step[0]
+            if kind == "lin":
+                _, i, gin, b_grad = step
+                np.matmul(
+                    inputs[i].transpose(0, 2, 1),
+                    grad,
+                    out=self._lane_tmp[(i, "w")],
+                )
+                if b_grad:
+                    bsum = ws["bsum"][i]
+                    grad.sum(axis=1, out=bsum)
+                    self._lane_tmp[(i, "b")][...] = bsum
+                if gin is not None:
+                    np.matmul(
+                        grad,
+                        self._lane_w[(i, "w")].transpose(0, 2, 1),
+                        out=gin,
+                    )
+                    grad = gin
+            else:  # relu
+                _, _, mask, gin = step
+                gin[...] = 0.0
+                np.copyto(gin, grad, where=mask)
+                grad = gin
+
+    def _step(
+        self, lr: float, momentum: float, weight_decay: float, prox_mu: float
+    ) -> None:
+        # FusedHeadPlan._step verbatim over (lanes × slot_total) stacks;
+        # theta_row broadcasts as the FedProx reference (the per-client
+        # reference is the broadcast θ, gathered slot for slot).
+        acc = self._acc_stack
+        acc[...] = 0.0
+        np.add(acc, self._tmp_stack, out=acc)
+        data = self._data_stack
+        t1 = self._t1_stack
+        grad = acc
+        if prox_mu > 0:
+            np.subtract(data, self.theta_row, out=t1)
+            np.multiply(t1, prox_mu, out=t1)
+            np.add(grad, t1, out=grad)
+        if weight_decay:
+            np.multiply(data, weight_decay, out=t1)
+            np.add(grad, t1, out=t1)
+            grad = t1
+        if momentum:
+            velocity = self._vel_stack
+            np.multiply(velocity, momentum, out=velocity)
+            np.add(velocity, grad, out=velocity)
+            update = velocity
+        else:
+            update = grad
+        np.multiply(update, lr, out=t1)
+        np.subtract(data, t1, out=data)
+
+    # -- entry points --------------------------------------------------------
+    def entropy_scores(self, temperature: float, batch_size: int) -> np.ndarray:
+        """Entropy per sample over the whole cohort, at broadcast θ.
+
+        Chunked per lane exactly as ``FusedHeadPlan.entropy_scores`` chunks
+        one client (same chunk boundaries ⇒ same tile partitions), then one
+        ufunc chain over the (N·rows × classes) stack — rowwise, so each
+        lane's scores are bit-identical to its per-client run. Returns the
+        flat (N·rows,) entropy buffer; lane ``i`` owns
+        ``[i·rows, (i+1)·rows)``.
+        """
+        n = self.rows
+        logits = self._score["logits"]
+        for start in range(0, n, batch_size):
+            rows = min(batch_size, n - start)
+            ws = self._score_chunk_ws(rows)
+            out = self._forward(ws, self.features[:, start : start + rows], False)
+            logits[:, start : start + rows] = out
+        sws = self._score
+        flat = logits.reshape(-1, self.num_classes)
+        z, p = sws["z"], sws["p"]
+        np.divide(flat, temperature, out=z)
+        z.max(axis=-1, keepdims=True, out=sws["m"])
+        np.subtract(z, sws["m"], out=z)
+        np.exp(z, out=p)
+        p.sum(axis=-1, keepdims=True, out=sws["s"])
+        np.log(sws["s"], out=sws["s"])
+        np.subtract(z, sws["s"], out=z)  # z is now logp
+        np.exp(z, out=p)
+        np.multiply(p, z, out=sws["tmp"])
+        sws["tmp"].sum(axis=-1, out=sws["entropy"])
+        np.negative(sws["entropy"], out=sws["entropy"])
+        return sws["entropy"]
+
+    def gather_selected(self) -> None:
+        """Materialise each lane's selected rows (``selected_idx``) into the
+        contiguous selected stacks — the row copies ``features[indices]``
+        performs on the per-client path."""
+        np.add(self.selected_idx, self._row_base, out=self._abs_idx)
+        flat_idx = self._abs_idx.reshape(-1)
+        self.features.reshape(-1, self.feature_shape[0]).take(
+            flat_idx, axis=0, out=self.sel_features
+        )
+        self.labels.reshape(-1).take(flat_idx, out=self._sel_labels)
+
+    @property
+    def sel_labels(self) -> np.ndarray:
+        return self._sel_labels
+
+    def train(
+        self,
+        *,
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        prox_mu: float = 0.0,
+    ) -> np.ndarray:
+        """Run every lane's local solve in place; returns per-lane mean loss.
+
+        ``theta_row`` must hold the broadcast θ and ``perms`` the planned
+        per-stream epoch permutations. Each lane's θ trajectory lands in
+        its ``_data_stack`` row, bit-identical to the per-client fused
+        solve.
+        """
+        self._data_stack[...] = self.theta_row
+        self._vel_stack[...] = 0.0
+        k, b = self.selected, self.batch_size
+        losses = self._losses
+        step = 0
+        for epoch in range(self.epochs):
+            for start in range(0, k, b):
+                rows = min(b, k - start)
+                ws = self._train_ws(rows)
+                idx = ws["idx"]
+                np.add(
+                    self.perms[epoch, :, start : start + rows],
+                    self._sel_base,
+                    out=idx,
+                )
+                self.sel_features.take(idx, axis=0, out=ws["x"])
+                self._sel_labels.take(idx, out=ws["y"])
+                logits = self._forward(ws, ws["x"], True)
+                self._loss_forward(ws, logits, rows, losses[:, step])
+                step += 1
+                grad = self._loss_backward(ws, rows)
+                self._backward(ws, grad)
+                self._step(lr, momentum, weight_decay, prox_mu)
+        return losses.mean(axis=1)
+
+    def _loss_forward(
+        self, ws: dict, logits: np.ndarray, rows: int, out_col: np.ndarray
+    ) -> None:
+        # FusedCrossEntropy.forward op for op over the (N·rows) row stack;
+        # per-lane scalars via the same contiguous-block pairwise sum.
+        z = logits.reshape(-1, self.num_classes)
+        target = ws["target"]
+        probs = ws["probs"]
+        tmp = ws["ltmp"]
+        m = ws["m"]
+        s = ws["s"]
+        target[...] = 0.0
+        target[ws["rows"], ws["y"].reshape(-1)] = 1.0
+        z.max(axis=-1, keepdims=True, out=m)
+        np.subtract(z, m, out=z)
+        np.exp(z, out=probs)
+        probs.sum(axis=-1, keepdims=True, out=s)
+        np.log(s, out=s)
+        np.subtract(z, s, out=z)  # z is now logp
+        np.exp(z, out=probs)
+        np.multiply(target, z, out=tmp)
+        lsum = ws["lsum"]
+        tmp.reshape(self.lanes, -1).sum(axis=1, out=lsum)
+        np.negative(lsum, out=lsum)
+        np.divide(lsum, rows, out=lsum)
+        out_col[...] = lsum
+
+    def _loss_backward(self, ws: dict, rows: int) -> np.ndarray:
+        grad = ws["ltmp"]
+        np.subtract(ws["probs"], ws["target"], out=grad)
+        np.divide(grad, rows, out=grad)
+        return grad.reshape(self.lanes, rows, self.num_classes)
+
+    @property
+    def nbytes(self) -> int:
+        """Owned workspace bytes, for the byte-budget spill accounting."""
+        return _owned_nbytes(
+            vars(self).values(),
+            self._score_ws.values(),
+            self._train_row_ws.values(),
+        )

@@ -1,0 +1,470 @@
+"""Cohort solver: block-stacked multi-client rounds, bitwise invariants.
+
+The cohort solver (``repro.nn.fused.CohortPlan`` + the cohort layer of
+``repro.fl.fastpath``) stacks compatible participants' local rounds into
+one block solve over a shared feature workspace. Its contract: the
+grouping is *bitwise invisible* — same losses, same θ trajectory, same
+per-client RNG streams, same EventLog as N independent solves (fused or
+layer-graph), across sync/async and serial/thread/process backends, with
+automatic per-client fallback whenever a participant cannot join. These
+tests enforce that promise, plus the PR's satellites: plan-cache byte
+budgeting, flat-lane recycling through the async aggregators, and
+kill-and-resume straight through a cohort round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneous import CapabilityTier, TieredClient
+from repro.core.partial import prepare_partial_model
+from repro.data.dataset import ArrayDataset
+from repro.engine.aggregators import FedAsyncAggregator, FedBuffAggregator
+from repro.engine.backends import SerialBackend, ThreadPoolBackend, make_backend
+from repro.engine.runner import run_async_federated_training
+from repro.fl import fastpath
+from repro.fl.checkpoint import (
+    resume_async_federated_training,
+    resume_sync_federated_training,
+)
+from repro.fl.client import Client
+from repro.fl.features import FeatureRuntime
+from repro.fl.rounds import run_federated_training
+from repro.fl.selection import EntropySelector, RandomSelector
+from repro.fl.server import Server
+from repro.fl.slab import SlabLayout, make_slab_state
+from repro.fl.strategies import LocalSolver
+from repro.fl.timing import TimingModel
+from repro.nn.mlp import MLP
+from repro.nn.serialization import theta_keys
+from repro.obs.report import TelemetrySession
+
+RNG = np.random.default_rng
+
+
+# ---------------------------------------------------------------------------
+# Federation builder — partial MLP + entropy selection, the cohortable shape
+# ---------------------------------------------------------------------------
+
+
+def _make_model():
+    model = MLP(24, (16, 16, 16), 5, RNG(1))
+    prepare_partial_model(model, "moderate")
+    return model
+
+
+def _make_client(cid, n=40, cohort=True, fused=True, selector=None, cls=Client,
+                 extra=()):
+    rng = RNG(100 + cid)
+    x = rng.normal(size=(n, 24))
+    y = rng.integers(0, 5, size=n)
+    return cls(
+        cid,
+        ArrayDataset(x, y),
+        selector if selector is not None else EntropySelector(),
+        LocalSolver(),
+        0.3,
+        2,
+        RNG(500 + cid),
+        *extra,
+        **({} if cls is not Client else
+           {"cohort_solver": cohort, "fused_solver": fused}),
+    )
+
+
+def _build(num=8, n=40, cohort=True, fused=True, sizes=None, tiers=()):
+    """A server (slab global state) plus ``num`` cohortable clients.
+
+    ``sizes[cid]`` overrides the dataset size (ragged cohorts); ``tiers``
+    is a set of client ids built as :class:`TieredClient` instead
+    (heterogeneous federations — those always fall back per client).
+    """
+    model = _make_model()
+    clients = []
+    if sizes is not None:
+        num = len(sizes)
+    for cid in range(num):
+        size = n if sizes is None else sizes[cid]
+        if cid in tiers:
+            clients.append(
+                _make_client(cid, size, cls=TieredClient,
+                             extra=(CapabilityTier("medium", "moderate"),))
+            )
+        else:
+            clients.append(_make_client(cid, size, cohort=cohort, fused=fused))
+    state = model.state_dict()
+    layout = SlabLayout([(k, state[k].shape) for k in theta_keys(model)])
+    server = Server(
+        model,
+        ArrayDataset(RNG(7).normal(size=(64, 24)), RNG(8).integers(0, 5, 64)),
+    )
+    server.global_state = make_slab_state(state, layout)
+    return server, clients
+
+
+def _hist_sig(history):
+    return [
+        (r.test_accuracy, r.selected_samples, r.client_seconds,
+         r.mean_local_loss)
+        for r in history.records
+    ]
+
+
+def _log_sig(log):
+    return [
+        (r.kind, r.virtual_time, r.client_id, r.staleness, r.test_accuracy,
+         r.num_selected, r.client_seconds, r.mean_local_loss)
+        for r in log.records
+    ]
+
+
+def _theta_bytes(server):
+    return {
+        k: server.global_state[k].tobytes() for k in theta_keys(server.model)
+    }
+
+
+def _rng_states(clients):
+    return [c.rng.bit_generator.state for c in clients]
+
+
+def _run_sync(server, clients, backend=None, runtime=None, rounds=3, seed=3):
+    return run_federated_training(
+        server, clients, rounds=rounds, seed=seed, timing=TimingModel(),
+        backend=backend, feature_runtime=runtime,
+    )
+
+
+def _sync_reference(**build_kwargs):
+    """The per-client fused path (cohort off) — the identity baseline."""
+    server, clients = _build(**build_kwargs)
+    with SerialBackend(
+        feature_runtime=FeatureRuntime(), cohort_solver=False
+    ) as backend:
+        history = _run_sync(server, clients, backend)
+    return _hist_sig(history), _theta_bytes(server), _rng_states(clients)
+
+
+# ---------------------------------------------------------------------------
+# Sync bitwise identity: serial / inline / thread / process
+# ---------------------------------------------------------------------------
+
+
+def test_sync_serial_cohort_bitwise_and_engaged():
+    """Serial cohort run == per-client fused run; cohorts actually solve."""
+    ref_hist, ref_theta, ref_rngs = _sync_reference()
+    before = fastpath.COHORT_STATS["cohort_solves"]
+    server, clients = _build()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        history = _run_sync(server, clients, backend)
+    assert fastpath.COHORT_STATS["cohort_solves"] > before
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+    assert _rng_states(clients) == ref_rngs
+
+
+def test_sync_inline_cohort_bitwise():
+    """The no-backend inline path groups cohorts with the same results."""
+    ref_hist, ref_theta, ref_rngs = _sync_reference()
+    server, clients = _build()
+    history = _run_sync(server, clients, runtime=FeatureRuntime())
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+    assert _rng_states(clients) == ref_rngs
+
+
+def test_sync_graph_path_bitwise():
+    """Cohort solves match the layer-graph path, not just the fused one."""
+    server, clients = _build(fused=False, cohort=False)
+    graph_hist = _hist_sig(_run_sync(server, clients))
+    graph_theta = _theta_bytes(server)
+    server, clients = _build()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        cohort_hist = _hist_sig(_run_sync(server, clients, backend))
+    assert cohort_hist == graph_hist
+    assert _theta_bytes(server) == graph_theta
+
+
+def test_sync_thread_cohort_bitwise():
+    ref_hist, ref_theta, ref_rngs = _sync_reference()
+    server, clients = _build()
+    with ThreadPoolBackend(
+        max_workers=4, feature_runtime=FeatureRuntime()
+    ) as backend:
+        history = _run_sync(server, clients, backend)
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+    assert _rng_states(clients) == ref_rngs
+
+
+def test_sync_process_cohort_bitwise():
+    """Process backend ships one job blob per cohort; results identical."""
+    ref_hist, ref_theta, ref_rngs = _sync_reference()
+    server, clients = _build()
+    with make_backend(
+        "process", max_workers=2, feature_runtime=FeatureRuntime()
+    ) as backend:
+        history = _run_sync(server, clients, backend)
+        assert backend.stats["cohort_jobs"] > 0
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+    assert _rng_states(clients) == ref_rngs
+
+
+# ---------------------------------------------------------------------------
+# Async bitwise identity: both aggregators × serial/thread/process
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make_aggregator",
+    [lambda: FedAsyncAggregator(), lambda: FedBuffAggregator(buffer_size=3)],
+    ids=["fedasync", "fedbuff"],
+)
+def test_async_cohort_bitwise_all_backends(make_aggregator):
+    """Async cohort waves replay the per-client event log bit for bit."""
+    results = {}
+    for name, make in [
+        ("reference", lambda: SerialBackend(
+            feature_runtime=FeatureRuntime(), cohort_solver=False)),
+        ("serial", lambda: SerialBackend(feature_runtime=FeatureRuntime())),
+        ("thread", lambda: ThreadPoolBackend(
+            max_workers=4, feature_runtime=FeatureRuntime())),
+        ("process", lambda: make_backend(
+            "process", max_workers=2, feature_runtime=FeatureRuntime())),
+    ]:
+        server, clients = _build()
+        with make() as backend:
+            log = run_async_federated_training(
+                server, clients, make_aggregator(), max_events=24, seed=5,
+                timing=TimingModel(), backend=backend,
+            )
+        results[name] = (_log_sig(log), _theta_bytes(server))
+    reference = results.pop("reference")
+    for name, got in results.items():
+        assert got[0] == reference[0], f"{name} event log diverged"
+        assert got[1] == reference[1], f"{name} theta diverged"
+
+
+# ---------------------------------------------------------------------------
+# Grouping: ragged cohorts, singleton fallback, fallback reasons, opt-out
+# ---------------------------------------------------------------------------
+
+
+def test_ragged_cohorts_group_by_dataset_size():
+    """Different dataset sizes → separate cohorts, same bits."""
+    sizes = [40, 40, 40, 28, 28, 28, 40, 28]
+    ref_hist, ref_theta, _ = _sync_reference(sizes=sizes)
+    before = dict(fastpath.COHORT_STATS)
+    server, clients = _build(sizes=sizes)
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        history = _run_sync(server, clients, backend)
+    # Each round forms one cohort per size class (4 + 4 clients).
+    assert fastpath.COHORT_STATS["cohorts"] - before["cohorts"] == 6
+    assert fastpath.COHORT_STATS["cohort_clients"] - before["cohort_clients"] == 24
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+
+
+def test_singleton_falls_back_per_client():
+    """A size class of one never forms a cohort — counted, then solo."""
+    sizes = [40, 40, 40, 26]
+    ref_hist, ref_theta, _ = _sync_reference(sizes=sizes)
+    before = fastpath.COHORT_STATS["singletons"]
+    server, clients = _build(sizes=sizes)
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        history = _run_sync(server, clients, backend)
+    assert fastpath.COHORT_STATS["singletons"] - before == 3  # one per round
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+
+
+def test_cohort_units_fallback_reasons():
+    """Each ineligible participant lands on its dedicated counter."""
+    model = _make_model()
+    state = model.state_dict()
+    layout = SlabLayout([(k, state[k].shape) for k in theta_keys(model)])
+    global_state = make_slab_state(state, layout)
+
+    class _OddSelector(RandomSelector):
+        pass
+
+    clients = [
+        _make_client(0),
+        _make_client(1),
+        _make_client(2),                      # no features published
+        _make_client(3, cohort=False),        # per-client opt-out
+        _make_client(4, selector=_OddSelector()),  # unknown selector subtype
+        _make_client(5, cls=TieredClient,
+                     extra=(CapabilityTier("medium", "moderate"),)),
+    ]
+    shape = (16,)  # trailing feature shape of the moderate head's input
+    shapes = [shape, shape, None, shape, shape, shape]
+    before = dict(fastpath.COHORT_STATS)
+    units = fastpath.cohort_units(clients, model, global_state, shapes)
+    assert units is not None and len(units) == 1
+    positions, _ = units[0]
+    assert positions == [0, 1]
+    stats = fastpath.COHORT_STATS
+    assert stats["fallback_features"] - before["fallback_features"] == 1
+    assert stats["fallback_opt_out"] - before["fallback_opt_out"] >= 2
+    assert stats["fallback_selector"] - before["fallback_selector"] == 1
+
+
+def test_backend_opt_out_disables_grouping():
+    """`cohort_solver=False` backends never touch the cohort layer."""
+    before = dict(fastpath.COHORT_STATS)
+    server, clients = _build()
+    with SerialBackend(
+        feature_runtime=FeatureRuntime(), cohort_solver=False
+    ) as backend:
+        _run_sync(server, clients, backend)
+    for key in ("cohorts", "cohort_solves", "singletons"):
+        assert fastpath.COHORT_STATS[key] == before[key]
+
+
+def test_mixed_tiers_fall_back_bitwise():
+    """Tiered clients run per client; homogeneous peers still cohort."""
+    tiers = {1, 4}
+    ref_hist, ref_theta, _ = _sync_reference(tiers=tiers)
+    before = fastpath.COHORT_STATS["cohort_solves"]
+    server, clients = _build(tiers=tiers)
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        history = _run_sync(server, clients, backend)
+    assert fastpath.COHORT_STATS["cohort_solves"] > before
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+
+
+# ---------------------------------------------------------------------------
+# Telemetry, plan-cache budget, aggregator lane recycling
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_does_not_perturb_cohorts(tmp_path):
+    """Tracing on vs off: identical run, and cohort spans are recorded."""
+    ref_hist, ref_theta, _ = _sync_reference()
+    server, clients = _build()
+    with TelemetrySession(directory=str(tmp_path), trace=True):
+        with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+            history = _run_sync(server, clients, backend)
+    assert _hist_sig(history) == ref_hist
+    assert _theta_bytes(server) == ref_theta
+
+
+def test_plan_cache_reports_and_trims_bytes():
+    """Cohort plans count toward the byte budget and evict on demand."""
+    server, clients = _build()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        _run_sync(server, clients, backend)
+    before = fastpath.plan_cache_nbytes()
+    assert before > 0
+    freed, count = fastpath.trim_plan_caches(0)
+    assert freed > 0 and count > 0
+    assert fastpath.plan_cache_nbytes() == before - freed
+
+
+def test_feature_runtime_trim_spills_plans_first():
+    """A tight byte budget evicts plans before touching feature entries."""
+    server, clients = _build()
+    runtime = FeatureRuntime()
+    with SerialBackend(feature_runtime=runtime) as backend:
+        _run_sync(server, clients, backend)
+    assert fastpath.plan_cache_nbytes() > 0
+    feature_bytes = runtime.stats["bytes"]
+    runtime.trim(feature_bytes)  # budget covers features, not plans
+    assert runtime.stats["plan_evictions"] > 0
+    assert runtime.stats["bytes"] == feature_bytes  # features untouched
+
+
+def test_async_cohort_lanes_recycle_into_flat_pool():
+    """Cohort delta lanes feed the aggregator's flat-slab pool."""
+    server, clients = _build()
+    aggregator = FedAsyncAggregator()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        run_async_federated_training(
+            server, clients, aggregator, max_events=24, seed=5,
+            timing=TimingModel(), backend=backend,
+        )
+    lane_total = server.global_state.layout.total
+    pooled = [f for f in aggregator._free_flats if len(f) == lane_total]
+    assert pooled, "no cohort lane was recycled into the flat pool"
+    assert len(pooled) <= 4  # per-length cap holds
+
+
+# ---------------------------------------------------------------------------
+# Kill-and-resume through a cohort round
+# ---------------------------------------------------------------------------
+
+
+class _Killed(Exception):
+    pass
+
+
+def test_sync_kill_and_resume_through_cohort_round(tmp_path):
+    """A sync checkpoint taken mid-run resumes bitwise under cohorts."""
+    server, clients = _build()
+    with SerialBackend(
+        feature_runtime=FeatureRuntime(), cohort_solver=False
+    ) as backend:
+        history = _run_sync(server, clients, backend, rounds=5)
+    ref_hist, ref_theta = _hist_sig(history), _theta_bytes(server)
+
+    path = str(tmp_path / "sync_ckpt")
+
+    def bomb(record):
+        if record.round_index == 2:
+            raise _Killed
+
+    server, clients = _build()
+    with pytest.raises(_Killed):
+        with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+            run_federated_training(
+                server, clients, rounds=5, seed=3, timing=TimingModel(),
+                backend=backend, checkpoint_path=path, checkpoint_every=1,
+                on_round=bomb,
+            )
+    server, clients = _build()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        history = resume_sync_federated_training(
+            path, server, clients, timing=TimingModel(), backend=backend,
+        )
+    assert _hist_sig(history)[2:] == ref_hist[2:]
+    assert _theta_bytes(server) == ref_theta
+
+
+def test_async_kill_and_resume_through_cohort_round(tmp_path):
+    """An async run killed mid-stream resumes bitwise under cohorts."""
+    server, clients = _build()
+    with SerialBackend(
+        feature_runtime=FeatureRuntime(), cohort_solver=False
+    ) as backend:
+        log = run_async_federated_training(
+            server, clients, FedBuffAggregator(buffer_size=3), max_events=20,
+            seed=5, timing=TimingModel(), backend=backend,
+        )
+    ref_log, ref_theta = _log_sig(log), _theta_bytes(server)
+
+    path = str(tmp_path / "async_ckpt")
+    fired = []
+
+    def bomb(record):
+        fired.append(record)
+        if len(fired) == 8:
+            raise _Killed
+
+    server, clients = _build()
+    with pytest.raises(_Killed):
+        with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+            run_async_federated_training(
+                server, clients, FedBuffAggregator(buffer_size=3),
+                max_events=20, seed=5, timing=TimingModel(), backend=backend,
+                checkpoint_path=path, checkpoint_every=1, on_event=bomb,
+            )
+    server, clients = _build()
+    with SerialBackend(feature_runtime=FeatureRuntime()) as backend:
+        log = resume_async_federated_training(
+            path, server, clients, FedBuffAggregator(buffer_size=3),
+            timing=TimingModel(), backend=backend,
+        )
+    assert _log_sig(log) == ref_log
+    assert _theta_bytes(server) == ref_theta
