@@ -25,6 +25,7 @@ from repro.engine.backends import (
     make_backend,
 )
 from repro.engine.campaign import CampaignSegmentPool
+from repro.engine.faults import ChaosPlan, FaultPolicy, install_chaos
 from repro.engine.records import EventLog
 from repro.engine.runner import run_async_federated_training
 from repro.fl.client import Client
@@ -121,6 +122,23 @@ class FedFTEDSConfig:
     #: per-client dispatch; disable (``--no-cohort-solver``) to force
     #: per-client jobs
     cohort_solver: bool = True
+    #: fault layer (repro.engine.faults): per-job wall-clock deadline on
+    #: worker backends — a hung job is killed and redispatched bitwise
+    #: identically; setting either knob enables the FaultPolicy
+    job_timeout: float | None = None
+    #: consecutive failures of one job before it degrades to inline
+    #: execution (None = FaultPolicy's default budget)
+    max_job_retries: int | None = None
+    #: deterministic chaos injection: a spec string
+    #: (``"kill@3;delay@5:0.2"``) or a prebuilt
+    #: :class:`~repro.engine.faults.ChaosPlan`; installed process-wide for
+    #: the run so checkpoint writers see tear events — results stay
+    #: bitwise identical to the fault-free run
+    chaos: object | None = None
+    #: async only: snapshot the run after every event and write it as an
+    #: emergency checkpoint on the way down if the loop crashes (requires
+    #: checkpoint_path); pairs with repro.engine.faults.run_supervised
+    emergency_checkpoint: bool = False
     #: campaign scope for repeated calls: a :class:`FedFTEDSCampaign`
     #: supplies the warm process backend, segment pool and feature runtime
     #: shared across runs (standalone calls build throwaway ones)
@@ -156,6 +174,31 @@ class FedFTEDSResult:
 MODES = ("sync", "fedasync", "fedbuff")
 
 
+def _fault_setup(
+    config: "FedFTEDSConfig",
+) -> tuple[FaultPolicy | None, ChaosPlan | None]:
+    """Resolve the config's fault knobs into backend-ready objects.
+
+    Mirrors the backend constructors' convention: chaos injection without
+    an explicit policy enables a default :class:`FaultPolicy`, since
+    injected faults must be survivable to keep results identical.
+    """
+    policy = None
+    if config.job_timeout is not None or config.max_job_retries is not None:
+        args = {}
+        if config.job_timeout is not None:
+            args["job_deadline"] = float(config.job_timeout)
+        if config.max_job_retries is not None:
+            args["max_retries"] = int(config.max_job_retries)
+        policy = FaultPolicy(**args)
+    chaos = config.chaos
+    if isinstance(chaos, str):
+        chaos = ChaosPlan.parse(chaos, seed=config.seed)
+    if chaos is not None and policy is None:
+        policy = FaultPolicy()
+    return policy, chaos
+
+
 class FedFTEDSCampaign:
     """Campaign scope for repeated :func:`run_fedft_eds` calls.
 
@@ -189,6 +232,7 @@ class FedFTEDSCampaign:
         """The execution backend for one run (the run closes it; closing
         the campaign's process backend is the soft per-run ``end_run``)."""
         runtime = self.feature_runtime if config.feature_cache else None
+        fault_policy, chaos = _fault_setup(config)
         if config.backend == "process":
             if self._process_backend is None:
                 self._process_backend = ProcessPoolBackend(
@@ -198,20 +242,26 @@ class FedFTEDSCampaign:
                     feature_runtime=runtime,
                     fused_solver=config.fused_solver,
                     cohort_solver=config.cohort_solver,
+                    fault_policy=fault_policy,
+                    chaos=chaos,
                 )
             else:
-                # Honour the run's cache/fusion settings on the warm
+                # Honour the run's cache/fusion/fault settings on the warm
                 # backend; the per-run segment registrations were cleared
                 # by end_run.
                 self._process_backend.feature_runtime = runtime
                 self._process_backend.fused_solver = config.fused_solver
                 self._process_backend.cohort_solver = config.cohort_solver
+                self._process_backend.fault_policy = fault_policy
+                self._process_backend.chaos = chaos
             return self._process_backend
         return make_backend(
             config.backend,
             config.max_workers or self.max_workers,
             feature_runtime=runtime,
             cohort_solver=config.cohort_solver,
+            fault_policy=fault_policy,
+            chaos=chaos,
         )
 
     def close(self) -> None:
@@ -293,6 +343,7 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             "availability": None,
             "checkpoint_path": None,
             "checkpoint_every": 0,
+            "emergency_checkpoint": False,
         }
         ignored = [
             name
@@ -391,6 +442,13 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
     ]
     server = Server(model, target.test, cache_features=config.feature_cache)
     run_seed = int(sampling_rng_seed_rng.integers(2**31))
+    fault_policy, chaos = _fault_setup(config)
+    installed_chaos = False
+    if chaos is not None:
+        # Process-wide install so checkpoint writers see the tear events;
+        # uninstalled on the way out.
+        install_chaos(chaos)
+        installed_chaos = True
     if config.campaign is not None:
         backend = config.campaign.backend_for(config)
     else:
@@ -400,6 +458,8 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
             feature_runtime=FeatureRuntime() if config.feature_cache else None,
             fused_solver=config.fused_solver,
             cohort_solver=config.cohort_solver,
+            fault_policy=fault_policy,
+            chaos=chaos,
         )
     if isinstance(backend, ProcessPoolBackend):
         server.evaluator = PooledEvaluator(
@@ -467,10 +527,13 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
                 verbose=config.verbose,
                 checkpoint_path=config.checkpoint_path,
                 checkpoint_every=config.checkpoint_every,
+                emergency_checkpoint=config.emergency_checkpoint,
             )
     finally:
         server.evaluator = None
         backend.close()
+        if installed_chaos:
+            install_chaos(None)
         if session is not None:
             try:
                 if "history" in locals():

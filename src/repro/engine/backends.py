@@ -38,6 +38,18 @@ forward. The process backend additionally pools test-set shards for
 :class:`PooledEvaluator`, which turns ``Server.evaluate`` into parallel
 worker jobs with an exact parent-side count reduction.
 
+Fault tolerance (see :mod:`repro.engine.faults` and DESIGN.md
+"Fault-tolerant runtime"): with a :class:`~repro.engine.faults.FaultPolicy`
+the process backend detects dead workers, verifies segment fingerprints on
+worker attach, enforces per-job deadlines through a watchdog thread, and
+redispatches the *exact* job blob with seeded exponential backoff — every
+job is a pure function of its dispatch-time RNG state and the published
+segments, so recovery is bitwise invisible. After ``max_retries``
+consecutive failures a job degrades process → thread → serial and still
+completes identically, counted on the exported ``faults.*`` group. A
+:class:`~repro.engine.faults.ChaosPlan` injects seeded kills / delays /
+corruptions for replayable failure testing.
+
 See DESIGN.md ("Shared-memory process backend") for the segment layout and
 worker lifecycle.
 """
@@ -50,7 +62,9 @@ import os
 import pickle
 import queue
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker, shared_memory
@@ -62,6 +76,13 @@ from repro.engine.campaign import (
     register_emergency_cleanup,
     unlink_segment,
     unregister_emergency_cleanup,
+)
+from repro.engine.faults import (
+    FAULTS,
+    ChaosPlan,
+    FaultPolicy,
+    SegmentCorruption,
+    segment_fingerprint,
 )
 
 from repro.data.dataset import ArrayDataset, Dataset
@@ -257,6 +278,15 @@ class ThreadPoolBackend(ExecutionBackend):
     Feature caching: ϕ(x) arrays are built once on the *template* (inside
     ``submit``, on the scheduler thread, before any worker could touch it)
     and shared read-only by every worker's replica rounds.
+
+    Fault layer: thread jobs mutate their client's RNG *in this process*,
+    so a retry would double-advance the stream — redispatch is unsound
+    here and only the process backend retries. The thread backend instead
+    honours a :class:`~repro.engine.faults.ChaosPlan`'s ``delay`` events
+    (seeded stalls inside the job) and *observes* a
+    :class:`~repro.engine.faults.FaultPolicy` deadline post-hoc on the
+    ``faults.timeouts`` counter (threads cannot be reclaimed). Both are
+    zero-overhead when unset.
     """
 
     def __init__(
@@ -264,15 +294,58 @@ class ThreadPoolBackend(ExecutionBackend):
         max_workers: int | None = None,
         feature_runtime: FeatureRuntime | None = None,
         cohort_solver: bool = True,
+        fault_policy: FaultPolicy | None = None,
+        chaos: ChaosPlan | None = None,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.feature_runtime = feature_runtime
         self.cohort_solver = cohort_solver
+        self.fault_policy = fault_policy
+        self.chaos = chaos
+        #: global dispatch index for chaos addressing (counts every job)
+        self._job_index = 0
         self._executor: ThreadPoolExecutor | None = None
         self._replicas: queue.Queue | None = None
         self._lock = threading.Lock()
+
+    def _submit_traced(self, fn):
+        """Submit ``fn``, wrapped with this job's chaos delay / deadline.
+
+        The chaos event is resolved *here*, on the scheduler thread, so
+        the dispatch-order job index — not worker scheduling — addresses
+        the schedule; the sleep itself happens inside the worker.
+        """
+        if self.fault_policy is None and self.chaos is None:
+            return self._executor.submit(fn)
+        index = self._job_index
+        self._job_index += 1
+        delay = 0.0
+        if self.chaos is not None:
+            delay = self.chaos.delay_for(index)
+            if delay:
+                FAULTS["chaos_delays"] += 1
+        deadline = (
+            self.fault_policy.job_deadline
+            if self.fault_policy is not None
+            else None
+        )
+
+        def traced():
+            t0 = time.monotonic()
+            if delay:
+                time.sleep(delay)
+            try:
+                return fn()
+            finally:
+                if (
+                    deadline is not None
+                    and time.monotonic() - t0 > deadline
+                ):
+                    FAULTS["timeouts"] += 1
+
+        return self._executor.submit(traced)
 
     def _ensure_started(self, template: SegmentedModel) -> None:
         with self._lock:
@@ -304,7 +377,7 @@ class ThreadPoolBackend(ExecutionBackend):
             finally:
                 self._replicas.put(model)
 
-        return self._executor.submit(job)
+        return self._submit_traced(job)
 
     def submit_many(self, clients, template, global_state, timing):
         if (
@@ -375,7 +448,7 @@ class ThreadPoolBackend(ExecutionBackend):
                         update.train_seconds = sec
                 return updates
 
-            future = self._executor.submit(job)
+            future = self._submit_traced(job)
             for index, pos in enumerate(positions):
                 handles[pos] = _CohortMemberHandle(future, index)
         for i, client in enumerate(clients):
@@ -384,11 +457,14 @@ class ThreadPoolBackend(ExecutionBackend):
         return handles
 
     def close(self):
+        # Idempotent and exception-safe: the executor reference is cleared
+        # *before* the (blocking, possibly raising) shutdown, so a second
+        # close — or a close after a crashed run — is a no-op.
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-                self._replicas = None
+            executor, self._executor = self._executor, None
+            self._replicas = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
 
 class _CohortMemberHandle:
@@ -594,6 +670,34 @@ def _worker_model(name: str, nbytes: int) -> SegmentedModel:
     return model
 
 
+def _job_preamble(job: dict) -> None:
+    """Fault-layer job prologue: injected chaos delay + attach verification.
+
+    ``chaos_delay`` (set by a :class:`~repro.engine.faults.ChaosPlan`, and
+    only on a job's first dispatch — a retry must not stall again) stalls
+    the job to drive it past a watchdog deadline. ``fingerprints`` maps
+    segment names to ``(nbytes, digest)``: every segment this process has
+    not attached yet is verified against its published BLAKE2b fingerprint
+    before the solve reads it, and a mismatch raises
+    :class:`~repro.engine.faults.SegmentCorruption` back to the parent,
+    which repairs the bytes (in place — cached attachments see the repair)
+    and redispatches. Both fields are absent when the fault layer is off,
+    so the fast path pays two dict lookups.
+    """
+    delay = job.get("chaos_delay")
+    if delay:
+        time.sleep(delay)
+    fingerprints = job.get("fingerprints")
+    if fingerprints:
+        attached = _WORKER["segments"]
+        for name, (nbytes, digest) in fingerprints.items():
+            if name in attached:
+                continue  # verified when this process first attached it
+            seg = _worker_segment(name)
+            if segment_fingerprint(seg.buf, nbytes) != digest:
+                raise SegmentCorruption(name)
+
+
 def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict, dict | None]:
     """Worker entry point: run one round against shared-memory state.
 
@@ -615,6 +719,7 @@ def _shm_client_round(job_blob: bytes) -> tuple[LocalUpdate, dict, dict | None]:
         if name
     )
     try:
+        _job_preamble(job)
         return _shm_client_solve(job)
     finally:
         pins.clear()
@@ -677,6 +782,7 @@ def _shm_cohort_round(job_blob: bytes) -> tuple:
         pins.add(member["shard_name"])
         pins.add(member["features_name"])
     try:
+        _job_preamble(job)
         return _shm_cohort_solve(job)
     finally:
         pins.clear()
@@ -763,6 +869,7 @@ def _shm_eval_shard(job_blob: bytes) -> tuple[int, int, dict | None]:
     pins = _WORKER.setdefault("job_pins", set())
     pins.update((job["state_name"], job["eval_name"]))
     try:
+        _job_preamble(job)
         return _shm_eval_solve(job)
     finally:
         pins.clear()
@@ -885,26 +992,143 @@ class _TemplateRecord:
     refs: int = 0
 
 
-class _ShmHandle:
-    """Resolves a worker future, mirrors the RNG advance, releases refs."""
+class _JobRecord:
+    """One dispatched job's redispatch state.
 
-    __slots__ = ("_future", "_client", "_slot", "_template")
+    Holds the job *dict* (re-pickled per attempt: the injected
+    ``chaos_delay`` only ships on the first dispatch) plus everything the
+    retry loop needs — the live future, the attempt count, the watchdog's
+    timeout mark, and the fingerprints of the data segments the job
+    reads. Redispatch is bitwise-safe because the dict carries the
+    dispatch-time RNG state and only segment *names*: a retried job reads
+    the same published bytes and draws the same stream.
+    """
+
+    __slots__ = (
+        "entry", "job", "index", "fingerprints", "future", "attempts",
+        "timed_out",
+    )
+
+    def __init__(self, entry, job: dict, index: int, fingerprints):
+        self.entry = entry
+        self.job = job
+        self.index = index
+        self.fingerprints = fingerprints
+        self.future: Future | None = None
+        self.attempts = 0
+        self.timed_out = False
+
+
+class _Watchdog:
+    """Deadline enforcement for in-flight process jobs.
+
+    A daemon thread scans the watched records; an expired one is marked
+    timed out and every worker process is killed, so the scheduler's
+    blocked ``result()`` raises ``BrokenProcessPool`` promptly and the
+    retry loop takes over. Killing the whole pool is deliberately coarse
+    — ``concurrent.futures`` has no per-job cancel once a job runs — and
+    safe: every other in-flight job is redispatched bitwise-exactly by
+    the same machinery.
+    """
+
+    def __init__(self, backend: "ProcessPoolBackend", interval: float = 0.02):
+        self._backend = backend
+        self._interval = interval
+        self._deadlines: dict[_JobRecord, float] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def watch(self, record: _JobRecord, seconds: float) -> None:
+        with self._lock:
+            self._deadlines[record] = time.monotonic() + seconds
+            if self._thread is None:
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-watchdog", daemon=True
+                )
+                self._thread.start()
+
+    def unwatch(self, record: _JobRecord) -> None:
+        with self._lock:
+            self._deadlines.pop(record, None)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            now = time.monotonic()
+            with self._lock:
+                expired = [
+                    record
+                    for record, deadline in self._deadlines.items()
+                    if deadline <= now
+                ]
+                for record in expired:
+                    del self._deadlines[record]
+            for record in expired:
+                if record.future is not None and record.future.done():
+                    continue  # finished between the scan and now
+                record.timed_out = True
+                FAULTS["timeouts"] += 1
+                self._backend._kill_workers()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            self._deadlines.clear()
+
+
+def _run_all(steps) -> None:
+    """Run every teardown step even if some raise; re-raise the first.
+
+    The exception-safety idiom for ``end_run``/``shutdown``: a failing
+    step (a broken executor, an already-unlinked segment) must not leave
+    the later segments leaked under ``/dev/shm``.
+    """
+    error: BaseException | None = None
+    for step in steps:
+        try:
+            step()
+        except BaseException as exc:
+            if error is None:
+                error = exc
+    if error is not None:
+        raise error
+
+
+class _ShmHandle:
+    """Resolves a worker job, mirrors the RNG advance, releases refs.
+
+    Collection goes through the backend's retry loop
+    (:meth:`ProcessPoolBackend._collect`); the state-slot and template
+    references are held until the job's *final* resolution, so retried
+    dispatches keep reading pinned segment bytes.
+    """
+
+    __slots__ = ("_backend", "_record", "_client", "_slot", "_template")
 
     def __init__(
         self,
-        future: Future,
+        backend: "ProcessPoolBackend",
+        record: _JobRecord,
         client: Client,
         slot: _StateSlot,
         template: _TemplateRecord,
     ):
-        self._future = future
+        self._backend = backend
+        self._record = record
         self._client = client
         self._slot = slot
         self._template = template
 
     def result(self) -> LocalUpdate:
         try:
-            update, rng_state, metric_shard = self._future.result()
+            update, rng_state, metric_shard = self._backend._collect(
+                self._record
+            )
         finally:
             self._slot.refs -= 1
             self._template.refs -= 1
@@ -925,12 +1149,15 @@ class _SharedCohortResult:
     """
 
     __slots__ = (
-        "_future", "_clients", "_slot", "_template", "_layout",
+        "_backend", "_record", "_clients", "_slot", "_template", "_layout",
         "_model", "_timing", "_updates", "_error",
     )
 
-    def __init__(self, future, clients, slot, template, layout, model, timing):
-        self._future = future
+    def __init__(
+        self, backend, record, clients, slot, template, layout, model, timing
+    ):
+        self._backend = backend
+        self._record = record
         self._clients = clients
         self._slot = slot
         self._template = template
@@ -949,7 +1176,9 @@ class _SharedCohortResult:
 
     def _resolve(self) -> None:
         try:
-            stack, stats, rng_states, metric_shard = self._future.result()
+            stack, stats, rng_states, metric_shard = self._backend._collect(
+                self._record
+            )
         except BaseException as exc:  # re-raised to every member's result()
             self._error = exc
             return
@@ -1015,6 +1244,17 @@ class ProcessPoolBackend(ExecutionBackend):
 
     ``start_method`` defaults to the :data:`START_METHOD_ENV` environment
     variable, falling back to the platform default context.
+
+    Fault tolerance: with a ``fault_policy``, every dispatched job is a
+    :class:`_JobRecord` whose exact blob can be resubmitted — dead workers
+    (``BrokenProcessPool``), watchdog-expired deadlines and
+    :class:`~repro.engine.faults.SegmentCorruption` reports all trigger a
+    respawn-verify-backoff-redispatch cycle, and a job that exhausts
+    ``max_retries`` completes *inline* (process → thread → serial) with
+    identical bytes. A ``chaos`` plan injects seeded worker kills, job
+    delays and segment corruptions at dispatch time; passing ``chaos``
+    without a policy enables a default :class:`FaultPolicy` so injected
+    faults are always recovered from.
     """
 
     def __init__(
@@ -1026,6 +1266,8 @@ class ProcessPoolBackend(ExecutionBackend):
         feature_runtime: FeatureRuntime | None = None,
         fused_solver: bool = True,
         cohort_solver: bool = True,
+        fault_policy: FaultPolicy | None = None,
+        chaos: ChaosPlan | None = None,
     ):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -1057,6 +1299,20 @@ class ProcessPoolBackend(ExecutionBackend):
         self._eval_segments: dict[tuple, tuple] = {}
         self._inflight: set[Future] = set()
         self._inflight_lock = threading.Lock()
+        #: injected chaos implies a policy: every injected fault must be
+        #: recovered from, or the run would (deliberately) diverge.
+        if chaos is not None and fault_policy is None:
+            fault_policy = FaultPolicy()
+        self.fault_policy = fault_policy
+        self.chaos = chaos
+        #: global dispatch index for chaos addressing — counts every job
+        #: blob (per-client, cohort-chunk and eval-shard) in submit order
+        self._job_index = 0
+        #: segment name -> (shm, nbytes, fingerprint, repair) for this
+        #: run's data segments; fingerprints are only computed when the
+        #: policy verifies, repair closures republish the exact bytes
+        self._segment_meta: dict[str, tuple] = {}
+        self._watchdog: _Watchdog | None = None
         self.stats = CounterGroup(
             "backend.process",
             {
@@ -1086,6 +1342,249 @@ class ProcessPoolBackend(ExecutionBackend):
             mp_context=context,
             initializer=_shm_worker_init,
         )
+
+    # -- fault layer ---------------------------------------------------------
+    def _kill_workers(self) -> None:
+        """Kill every live worker (watchdog / drain escalation path)."""
+        executor = self._executor
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # already gone
+                pass
+
+    def _respawn_if_broken(self) -> None:
+        """Replace a broken executor with a fresh worker pool."""
+        executor = self._executor
+        if executor is None:
+            self._ensure_started()
+            return
+        if not getattr(executor, "_broken", False):
+            return
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best effort
+            pass
+        self._executor = None
+        self._ensure_started()
+        FAULTS["respawns"] += 1
+
+    def _register_segment_meta(
+        self, shm: shared_memory.SharedMemory, nbytes: int, repair
+    ) -> None:
+        """Track a published data segment for verification and repair."""
+        if self.fault_policy is None:
+            return
+        digest = (
+            segment_fingerprint(shm.buf, nbytes)
+            if self.fault_policy.verify_segments
+            else None
+        )
+        self._segment_meta[shm.name] = (shm, nbytes, digest, repair)
+
+    def _job_fingerprints(self, names) -> dict | None:
+        """``{segment name: (nbytes, digest)}`` for a job's data segments."""
+        policy = self.fault_policy
+        if policy is None or not policy.verify_segments:
+            return None
+        out = {}
+        for name in names:
+            meta = self._segment_meta.get(name) if name else None
+            if meta is not None and meta[2] is not None:
+                out[name] = (meta[1], meta[2])
+        return out or None
+
+    def _repair_segment(self, name: str) -> None:
+        """Republish a corrupted segment's exact bytes from its source."""
+        meta = self._segment_meta.get(name)
+        if meta is not None:
+            meta[3]()
+
+    def _verify_job_segments(self, record: _JobRecord) -> None:
+        """Parent-side re-verify of a failed job's segments before retry."""
+        for name, (nbytes, digest) in (record.fingerprints or {}).items():
+            meta = self._segment_meta.get(name)
+            if meta is None:
+                continue
+            if segment_fingerprint(meta[0].buf, nbytes) != digest:
+                FAULTS["corrupt_segments"] += 1
+                self._repair_segment(name)
+
+    def _chaos_corrupt(self, job: dict) -> None:
+        """Flip one seeded byte of the job's feature — else shard — segment."""
+        members = job.get("members")
+        first = members[0] if members else job
+        name = (
+            first.get("features_name")
+            or first.get("shard_name")
+            or job.get("eval_name")
+        )
+        meta = self._segment_meta.get(name) if name else None
+        if meta is None:
+            return
+        shm, nbytes = meta[0], meta[1]
+        offset = self.chaos.corrupt_offset(nbytes)
+        shm.buf[offset] = shm.buf[offset] ^ 0xFF
+        FAULTS["chaos_corruptions"] += 1
+
+    def _chaos_kill_worker(self) -> None:
+        """Kill one worker process (the chaos plan's ``kill`` event)."""
+        executor = self._executor
+        if executor is None:
+            return
+        procs = list(getattr(executor, "_processes", {}).values())
+        if procs:
+            try:
+                procs[0].kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+            FAULTS["chaos_kills"] += 1
+
+    def _dispatch(self, entry, job: dict, fingerprints=None) -> _JobRecord:
+        """Apply this job's scheduled chaos, then submit it to the pool."""
+        index = self._job_index
+        self._job_index += 1
+        if fingerprints:
+            job["fingerprints"] = fingerprints
+        kill = False
+        chaos = self.chaos
+        if chaos is not None:
+            delay = chaos.delay_for(index)
+            if delay:
+                job["chaos_delay"] = delay
+                FAULTS["chaos_delays"] += 1
+            if chaos.corrupt_before(index):
+                self._chaos_corrupt(job)
+            kill = chaos.kill_before(index)
+        record = _JobRecord(entry, job, index, fingerprints)
+        self._submit_job(record)
+        if kill:
+            # After the submit so the executor has spawned its processes
+            # (they start lazily); the dead worker surfaces as
+            # BrokenProcessPool on whichever futures it takes down.
+            self._chaos_kill_worker()
+        return record
+
+    def _submit_job(self, record: _JobRecord) -> None:
+        """(Re)submit a job record's exact blob; arm the watchdog."""
+        job = record.job
+        if record.attempts > 0 and "chaos_delay" in job:
+            # A chaos delay fires once, on the first dispatch — the retry
+            # of a deadline-killed job must not stall again.
+            job = {k: v for k, v in job.items() if k != "chaos_delay"}
+        blob = pickle.dumps(job)
+        self.stats["job_payload_bytes"] += len(blob)
+        self.stats["max_job_payload_bytes"] = max(
+            self.stats["max_job_payload_bytes"], len(blob)
+        )
+        self._ensure_started()
+        try:
+            future = self._executor.submit(record.entry, blob)
+        except BrokenExecutor:
+            # The pool broke *between* jobs (a worker died idle). Without
+            # a policy that is fatal, as before; with one, respawn and
+            # dispatch to the fresh pool.
+            if self.fault_policy is None:
+                raise
+            self._respawn_if_broken()
+            future = self._executor.submit(record.entry, blob)
+        record.future = future
+        with self._inflight_lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._inflight_done)
+        policy = self.fault_policy
+        if policy is not None and policy.job_deadline is not None:
+            if self._watchdog is None:
+                self._watchdog = _Watchdog(self)
+            watchdog = self._watchdog
+            watchdog.watch(record, policy.job_deadline)
+            future.add_done_callback(
+                lambda _f, r=record: watchdog.unwatch(r)
+            )
+
+    def _retryable(self, exc: BaseException, record: _JobRecord) -> bool:
+        """Classify a job failure; count and repair what the retry needs."""
+        if isinstance(exc, SegmentCorruption):
+            FAULTS["corrupt_segments"] += 1
+            self._repair_segment(exc.name)
+            return True
+        if record.timed_out:
+            return True
+        # BrokenProcessPool (a subclass of BrokenExecutor) is the dead-
+        # worker signal; OSError/EOFError cover torn result pipes.
+        return isinstance(exc, (BrokenExecutor, OSError, EOFError))
+
+    def _collect(self, record: _JobRecord):
+        """Resolve a job, retrying/degrading per the fault policy.
+
+        The fast path — no policy — is a plain ``future.result()``. With
+        a policy, a retryable failure (dead worker, timeout, corruption)
+        respawns the pool, re-verifies the job's segments, waits a seeded
+        backoff and redispatches the exact blob; after ``max_retries``
+        consecutive failures the job completes inline
+        (:meth:`_run_degraded`), bitwise identically.
+        """
+        policy = self.fault_policy
+        if policy is None:
+            return record.future.result()
+        while True:
+            try:
+                return record.future.result()
+            except BaseException as exc:
+                if not self._retryable(exc, record):
+                    raise
+            record.attempts += 1
+            record.timed_out = False
+            self._respawn_if_broken()
+            if policy.verify_segments:
+                self._verify_job_segments(record)
+            if record.attempts > policy.max_retries:
+                return self._run_degraded(record)
+            FAULTS["retries"] += 1
+            delay = policy.backoff_delay(record.attempts)
+            if delay > 0:
+                with tracing.span("faults.backoff"):
+                    time.sleep(delay)
+            self._submit_job(record)
+
+    def _run_degraded(self, record: _JobRecord):
+        """Complete a job inline after its retry budget is exhausted.
+
+        The degradation ladder: the job's exact blob first runs on a
+        private worker thread (process → thread); if that fails too it
+        runs serially on the scheduler thread (thread → serial). Either
+        way the result is bitwise identical to a worker execution — the
+        blob carries the dispatch-time RNG state and reads the same
+        published segments — just slower, and loudly annotated on
+        ``faults.degradations`` / ``solver.fused.degraded_jobs``.
+        """
+        FAULTS["degradations"] += 1
+        fastpath.STATS["degraded_jobs"] += 1
+        job = {
+            key: value
+            for key, value in record.job.items()
+            if key != "chaos_delay"
+        }
+        blob = pickle.dumps(job)
+        baseline = obs_metrics.shard_baseline()
+        try:
+            try:
+                with ThreadPoolExecutor(max_workers=1) as fallback:
+                    return fallback.submit(record.entry, blob).result()
+            except Exception:
+                return record.entry(blob)
+        finally:
+            # The inline run incremented this process's exported groups
+            # directly *and* returns the usual metric shard (which the
+            # handle merges); cancel the direct increments so counter
+            # totals stay exactly equal to the all-worker run's.
+            delta = obs_metrics.shard_delta(baseline)
+            if delta:
+                obs_metrics.merge_exported(
+                    {name: -value for name, value in delta.items()}
+                )
 
     def _ensure_template(self, template: SegmentedModel) -> _TemplateRecord:
         """Publish ``template`` into shared memory once per distinct object.
@@ -1204,6 +1703,11 @@ class ProcessPoolBackend(ExecutionBackend):
                 digest=digest,
                 pool_key=pool_key,
             )
+            self._register_segment_meta(
+                segment.shm,
+                segment.nbytes,
+                lambda key=pool_key: self.segment_pool.repair(key),
+            )
         else:
             arrays = shard_arrays()
             layout, nbytes = _array_layout(arrays)
@@ -1216,6 +1720,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 client=client,
                 digest=digest,
             )
+
+            def repair(shm=shm, layout=layout):
+                _write_arrays(shm.buf, layout, shard_arrays())
+                FAULTS["segment_repairs"] += 1
+
+            self._register_segment_meta(shm, nbytes, repair)
         self._shards[id(client)] = record
         self.stats["shard_segments"] = len(self._shards)
         return record
@@ -1226,6 +1736,11 @@ class ProcessPoolBackend(ExecutionBackend):
         """Publish an auxiliary array set: pooled when keyed, owned else."""
         if self.segment_pool is not None and pool_key is not None:
             segment = self.segment_pool.acquire(pool_key, arrays_factory)
+            self._register_segment_meta(
+                segment.shm,
+                segment.nbytes,
+                lambda key=pool_key: self.segment_pool.repair(key),
+            )
             return _SegmentRef(
                 shm=segment.shm, layout=segment.layout, pool_key=pool_key
             )
@@ -1233,6 +1748,12 @@ class ProcessPoolBackend(ExecutionBackend):
         layout, nbytes = _array_layout(arrays)
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
         _write_arrays(shm.buf, layout, arrays)
+
+        def repair(shm=shm, layout=layout):
+            _write_arrays(shm.buf, layout, arrays_factory())
+            FAULTS["segment_repairs"] += 1
+
+        self._register_segment_meta(shm, nbytes, repair)
         return _SegmentRef(shm=shm, layout=layout)
 
     def _ensure_features(
@@ -1316,33 +1837,30 @@ class ProcessPoolBackend(ExecutionBackend):
         slot = self._publish_state(global_state)
         shard = self._ensure_shard(client)
         features = self._ensure_features(client, template)
-        job_blob = pickle.dumps(
-            {
-                "template_name": template_record.shm.name,
-                "template_nbytes": template_record.nbytes,
-                "state_name": slot.shm.name,
-                "state_layout": slot.layout,
-                "shard_name": shard.shm.name,
-                "shard_layout": shard.layout,
-                "client_blob": shard.client_blob,
-                "client_digest": shard.digest,
-                "features_name": features.shm.name if features else None,
-                "features_layout": features.layout if features else None,
-                "rng_state": client.rng.bit_generator.state,
-                "timing": timing,
-            }
-        )
+        job = {
+            "template_name": template_record.shm.name,
+            "template_nbytes": template_record.nbytes,
+            "state_name": slot.shm.name,
+            "state_layout": slot.layout,
+            "shard_name": shard.shm.name,
+            "shard_layout": shard.layout,
+            "client_blob": shard.client_blob,
+            "client_digest": shard.digest,
+            "features_name": features.shm.name if features else None,
+            "features_layout": features.layout if features else None,
+            "rng_state": client.rng.bit_generator.state,
+            "timing": timing,
+        }
         self.stats["jobs"] += 1
-        self.stats["job_payload_bytes"] += len(job_blob)
-        self.stats["max_job_payload_bytes"] = max(
-            self.stats["max_job_payload_bytes"], len(job_blob)
-        )
         template_record.refs += 1
-        future = self._executor.submit(_shm_client_round, job_blob)
-        with self._inflight_lock:
-            self._inflight.add(future)
-        future.add_done_callback(self._inflight_done)
-        return _ShmHandle(future, client, slot, template_record)
+        record = self._dispatch(
+            _shm_client_round,
+            job,
+            self._job_fingerprints(
+                (shard.shm.name, features.shm.name if features else None)
+            ),
+        )
+        return _ShmHandle(self, record, client, slot, template_record)
 
     def submit_many(self, clients, template, global_state, timing):
         if (
@@ -1391,30 +1909,26 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
             # One blob per cohort: segment names and per-member RNG states;
             # features/shards/θ all travel through the published segments.
-            job_blob = pickle.dumps(
-                {
-                    "template_name": template_record.shm.name,
-                    "template_nbytes": template_record.nbytes,
-                    "state_name": slot.shm.name,
-                    "state_layout": slot.layout,
-                    "members": member_blobs,
-                    "timing": timing,
-                }
-            )
+            job = {
+                "template_name": template_record.shm.name,
+                "template_nbytes": template_record.nbytes,
+                "state_name": slot.shm.name,
+                "state_layout": slot.layout,
+                "members": member_blobs,
+                "timing": timing,
+            }
             self.stats["jobs"] += 1
             self.stats["cohort_jobs"] += 1
-            self.stats["job_payload_bytes"] += len(job_blob)
-            self.stats["max_job_payload_bytes"] = max(
-                self.stats["max_job_payload_bytes"], len(job_blob)
-            )
             template_record.refs += 1
-            future = self._executor.submit(_shm_cohort_round, job_blob)
-            with self._inflight_lock:
-                self._inflight.add(future)
-            future.add_done_callback(self._inflight_done)
+            fingerprints = self._job_fingerprints(
+                [name for member in member_blobs for name in (
+                    member["shard_name"], member["features_name"]
+                )]
+            )
+            job_record = self._dispatch(_shm_cohort_round, job, fingerprints)
             shared = _SharedCohortResult(
-                future, members, slot, template_record, layout, template,
-                timing,
+                self, job_record, members, slot, template_record, layout,
+                template, timing,
             )
             for index, pos in enumerate(positions):
                 handles[pos] = _ShmCohortHandle(shared, index)
@@ -1432,12 +1946,24 @@ class ProcessPoolBackend(ExecutionBackend):
 
         Close can arrive with jobs in flight (an exception propagating out
         of a run's ``with backend:`` block); segments must not be
-        recycled or unlinked while a worker may still read them.
+        recycled or unlinked while a worker may still read them. With a
+        fault-policy deadline the wait is bounded: a job hung past its
+        deadline gets the workers killed rather than blocking teardown.
         """
         with self._inflight_lock:
             pending = list(self._inflight)
-        if pending:
-            futures_wait(pending)
+        if not pending:
+            return
+        policy = self.fault_policy
+        if policy is not None and policy.job_deadline is not None:
+            _, not_done = futures_wait(
+                pending, timeout=policy.job_deadline + 1.0
+            )
+            if not_done:
+                self._kill_workers()
+                futures_wait(not_done, timeout=5.0)
+            return
+        futures_wait(pending)
 
     # -- pooled evaluation ---------------------------------------------------
     def _ensure_eval_segments(
@@ -1539,39 +2065,42 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         slot = self._publish_state(global_state)
         keys = theta_keys(model)
-        futures = []
+        records = []
         template_record.refs += len(segments)
+        correct = 0
+        total = 0
         try:
             for record in segments:
-                job_blob = pickle.dumps(
-                    {
-                        "template_name": template_record.shm.name,
-                        "template_nbytes": template_record.nbytes,
-                        "state_name": slot.shm.name,
-                        "state_layout": slot.layout,
-                        "eval_name": record.shm.name,
-                        "eval_layout": record.layout,
-                        "theta_keys": keys,
-                        "batch_size": batch_size,
-                        "fused": self.fused_solver,
-                    }
+                job = {
+                    "template_name": template_record.shm.name,
+                    "template_nbytes": template_record.nbytes,
+                    "state_name": slot.shm.name,
+                    "state_layout": slot.layout,
+                    "eval_name": record.shm.name,
+                    "eval_layout": record.layout,
+                    "theta_keys": keys,
+                    "batch_size": batch_size,
+                    "fused": self.fused_solver,
+                }
+                records.append(
+                    self._dispatch(
+                        _shm_eval_shard,
+                        job,
+                        self._job_fingerprints((record.shm.name,)),
+                    )
                 )
-                future = self._executor.submit(_shm_eval_shard, job_blob)
-                with self._inflight_lock:
-                    self._inflight.add(future)
-                future.add_done_callback(self._inflight_done)
-                futures.append(future)
-            futures_wait(futures)
+            # Collect in submit order; references stay held until every
+            # shard — including any redispatched one — has resolved.
+            for job_record in records:
+                shard_correct, shard_total, metric_shard = self._collect(
+                    job_record
+                )
+                correct += shard_correct
+                total += shard_total
+                obs_metrics.merge_exported(metric_shard)
         finally:
             slot.refs -= 1
             template_record.refs -= len(segments)
-        correct = 0
-        total = 0
-        for future in futures:
-            shard_correct, shard_total, metric_shard = future.result()
-            correct += shard_correct
-            total += shard_total
-            obs_metrics.merge_exported(metric_shard)
         self.stats["pooled_evals"] += 1
         return correct / total
 
@@ -1609,20 +2138,32 @@ class ProcessPoolBackend(ExecutionBackend):
         state-slot reader counts and all template segments — while keeping
         the workers, the recycled state slots and the pool's shard and
         feature/test segments warm for the next run.
+
+        Idempotent and exception-safe: every teardown step runs even when
+        an earlier one raises (the chaos tests close after crashes), and a
+        second call finds only empty registries.
         """
-        self._drain_inflight()
-        self._release_shards()
-        self._release_aux_segments()
+        _run_all(
+            (
+                self._drain_inflight,
+                self._release_shards,
+                self._release_aux_segments,
+                self._reset_run_state,
+            )
+        )
+
+    def _reset_run_state(self) -> None:
         self._current = None
+        self._segment_meta = {}
         # With nothing executing, abandoned handles can no longer protect
         # their reads: every slot is reusable and every template is dead
         # (the next run brings its own template object).
         for slot in self._slots:
             slot.refs = 0
             slot.state = None
-        for record in self._templates.values():
+        templates, self._templates = self._templates, {}
+        for record in templates.values():
             unlink_segment(record.shm)
-        self._templates = {}
 
     def close(self):
         """Per-run close: full teardown, or :meth:`end_run` when persistent."""
@@ -1632,21 +2173,41 @@ class ProcessPoolBackend(ExecutionBackend):
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Full teardown: stop the workers and unlink every owned segment."""
-        self._drain_inflight()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        for slot in self._slots:
-            unlink_segment(slot.shm)
-        self._slots = []
+        """Full teardown: stop the workers and unlink every owned segment.
+
+        Idempotent and exception-safe like :meth:`end_run`: each step runs
+        regardless of earlier failures (a broken executor after a chaos
+        kill must not leak ``/dev/shm`` segments), and repeated calls are
+        no-ops.
+        """
+        _run_all(
+            (
+                self._drain_inflight,
+                self._stop_watchdog,
+                self._shutdown_executor,
+                self._unlink_slots,
+                self._release_shards,
+                self._release_aux_segments,
+                self._reset_run_state,
+                lambda: unregister_emergency_cleanup(self),
+            )
+        )
+
+    def _stop_watchdog(self) -> None:
+        watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.stop()
+
+    def _shutdown_executor(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def _unlink_slots(self) -> None:
+        slots, self._slots = self._slots, []
         self._current = None
-        self._release_shards()
-        self._release_aux_segments()
-        for record in self._templates.values():
-            unlink_segment(record.shm)
-        self._templates = {}
-        unregister_emergency_cleanup(self)
+        for slot in slots:
+            unlink_segment(slot.shm)
 
     def _emergency_cleanup(self) -> None:
         """Crash-path unlink (atexit/signal); idempotent, never raises.
@@ -1842,6 +2403,8 @@ def make_backend(
     feature_runtime: FeatureRuntime | None = None,
     fused_solver: bool = True,
     cohort_solver: bool = True,
+    fault_policy: FaultPolicy | None = None,
+    chaos: ChaosPlan | None = None,
 ) -> ExecutionBackend:
     """Instantiate an execution backend by short name.
 
@@ -1852,7 +2415,10 @@ def make_backend(
     ``fused_solver`` gates the fused plan in pooled-evaluation workers
     (client rounds carry their own per-client flag). ``cohort_solver``
     gates block-stacked cohort dispatch (``submit_many`` grouping) on
-    every backend.
+    every backend. ``fault_policy``/``chaos`` enable the fault layer
+    (:mod:`repro.engine.faults`): full retry/watchdog/degradation on the
+    process backend, delay injection and deadline observation on the
+    thread backend, nothing on serial (inline execution cannot lose work).
     """
     if name == "serial":
         return SerialBackend(
@@ -1863,6 +2429,8 @@ def make_backend(
             max_workers=max_workers,
             feature_runtime=feature_runtime,
             cohort_solver=cohort_solver,
+            fault_policy=fault_policy,
+            chaos=chaos,
         )
     if name == "process":
         return ProcessPoolBackend(
@@ -1872,5 +2440,7 @@ def make_backend(
             feature_runtime=feature_runtime,
             fused_solver=fused_solver,
             cohort_solver=cohort_solver,
+            fault_policy=fault_policy,
+            chaos=chaos,
         )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")

@@ -167,6 +167,12 @@ class PoolSegment:
     nbytes: int
     #: backends currently holding this segment (a run in progress)
     refs: int = 0
+    #: BLAKE2b fingerprint of the published bytes, checked on every
+    #: re-acquire (see :func:`repro.engine.faults.segment_fingerprint`)
+    fingerprint: bytes | None = None
+    #: the most recent arrays factory for ``key`` — the repair path
+    #: republishes a corrupted segment from it
+    factory: Callable[[], dict[str, np.ndarray]] | None = None
 
 
 class CampaignSegmentPool:
@@ -197,7 +203,7 @@ class CampaignSegmentPool:
             "campaign.pool",
             {
                 "publishes": 0, "hits": 0, "segments": 0, "evictions": 0,
-                "bytes": 0,
+                "bytes": 0, "verifies": 0, "corruptions": 0,
             },
         )
         #: publishes broken down by key kind — tuple keys' first element
@@ -226,6 +232,8 @@ class CampaignSegmentPool:
         # layout helpers live next to the other segment code.
         from repro.engine.backends import _array_layout, _write_arrays
 
+        from repro.engine.faults import segment_fingerprint
+
         if self._closed:
             raise RuntimeError("segment pool is closed")
         segment = self._segments.get(key)
@@ -235,7 +243,14 @@ class CampaignSegmentPool:
                 layout, nbytes = _array_layout(arrays)
                 shm = shared_memory.SharedMemory(create=True, size=nbytes)
                 _write_arrays(shm.buf, layout, arrays)
-            segment = PoolSegment(key=key, shm=shm, layout=layout, nbytes=nbytes)
+            segment = PoolSegment(
+                key=key,
+                shm=shm,
+                layout=layout,
+                nbytes=nbytes,
+                fingerprint=segment_fingerprint(shm.buf, nbytes),
+                factory=arrays_factory,
+            )
             self._segments[key] = segment
             self.stats["publishes"] += 1
             self.stats["bytes"] += nbytes
@@ -251,10 +266,46 @@ class CampaignSegmentPool:
                 self.trim(self.byte_budget, kinds=self.BUDGET_KINDS)
             return segment
         self.stats["hits"] += 1
+        # Re-attach verification: a campaign-lifetime segment may have been
+        # silently corrupted since it was published (a wild write from any
+        # attached process); check the stored fingerprint before handing it
+        # to a new run and republish from the fresh factory on mismatch.
+        segment.factory = arrays_factory
+        self.stats["verifies"] += 1
+        if segment_fingerprint(segment.shm.buf, segment.nbytes) != (
+            segment.fingerprint
+        ):
+            self.stats["corruptions"] += 1
+            self._rewrite(segment)
         # LRU touch: re-insert at the recent end of the order.
         self._segments[key] = self._segments.pop(key)
         segment.refs += 1
         return segment
+
+    def _rewrite(self, segment: PoolSegment) -> None:
+        """Republish a corrupted segment's bytes from its arrays factory."""
+        from repro.engine.backends import _write_arrays
+        from repro.engine.faults import FAULTS, segment_fingerprint
+
+        with tracing.span("pool.repair"):
+            _write_arrays(segment.shm.buf, segment.layout, segment.factory())
+        segment.fingerprint = segment_fingerprint(
+            segment.shm.buf, segment.nbytes
+        )
+        FAULTS["segment_repairs"] += 1
+
+    def repair(self, key: Hashable) -> bool:
+        """Rewrite ``key``'s segment from its factory (backend repair hook).
+
+        Returns whether a resident segment was rewritten. Used by the
+        process backend when a worker reports :class:`SegmentCorruption`
+        on a pool-owned segment.
+        """
+        segment = self._segments.get(key)
+        if segment is None or segment.factory is None:
+            return False
+        self._rewrite(segment)
+        return True
 
     def release(self, key: Hashable) -> None:
         """Drop one reference; the segment stays resident for the next run."""

@@ -1,0 +1,299 @@
+"""Fault policy, deterministic chaos injection, and supervised restarts.
+
+The campaign runtime dispatches long-lived shared-memory jobs (per-client
+rounds, cohort chunks, eval shards) to warm worker processes. A single
+worker crash, hung job, or corrupted segment used to kill the whole run.
+This module is the fault story:
+
+- :class:`FaultPolicy` — per-job deadline, retry budget, and an
+  exponential backoff whose jitter comes from a dedicated seeded RNG
+  stream, so retry *timing* is as reproducible as retry *results*.
+- :class:`ChaosPlan` — a seeded fault-injection schedule (kill a worker
+  before job K, delay a job, corrupt a published segment's bytes, tear a
+  checkpoint write mid-save) parsed from a compact CLI spec
+  (``"kill@3;delay@5:0.02;corrupt@0;tear@1"``) so every failure scenario
+  replays exactly.
+- :func:`run_supervised` — bounded-restart supervision around a training
+  entry point: on a mid-round crash the loops below write an emergency
+  checkpoint (sync format 2 / async format 4) and the supervisor resumes
+  from it.
+
+Why recovery never drifts results: every job blob is a pure function of
+its dispatch-time RNG state and the published BLAKE2b-fingerprinted
+segments, and the parent only folds a job's effects (client RNG advance,
+metric shards, θ update) in at ``result()`` time. A lost job can
+therefore be redispatched — or run inline after degradation — any number
+of times and produce bitwise-identical bytes.
+
+Everything observable lands in the exported ``faults.*`` counter group so
+the PR 6 registry and telemetry summaries pick it up with zero wiring.
+Nothing here reads an RNG stream shared with training.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+
+#: every fault-layer event, exported for exact worker-shard merge and the
+#: telemetry registry (see repro.obs.metrics)
+FAULTS = obs_metrics.export_group(
+    "faults",
+    {
+        "retries": 0,
+        "respawns": 0,
+        "timeouts": 0,
+        "corrupt_segments": 0,
+        "segment_repairs": 0,
+        "degradations": 0,
+        "emergency_checkpoints": 0,
+        "supervised_restarts": 0,
+        "chaos_kills": 0,
+        "chaos_delays": 0,
+        "chaos_corruptions": 0,
+        "chaos_torn_saves": 0,
+    },
+)
+
+#: BLAKE2b digest size for segment fingerprints — matches the shard/
+#: feature fingerprints the backends already publish (12 bytes is plenty
+#: to detect corruption; this is integrity checking, not cryptography)
+_DIGEST_SIZE = 12
+
+
+def segment_fingerprint(buf, nbytes: int) -> bytes:
+    """BLAKE2b fingerprint of the first ``nbytes`` of a buffer.
+
+    Shared-memory segments round up to page size, so callers must pin the
+    logical length — hashing ``shm.buf`` whole would tie the fingerprint
+    to the platform's page size.
+    """
+    return hashlib.blake2b(bytes(buf[:nbytes]), digest_size=_DIGEST_SIZE).digest()
+
+
+class SegmentCorruption(Exception):
+    """A published segment's bytes no longer match their fingerprint.
+
+    Raised worker-side on attach verification and parent-side on pool
+    re-attach; carries the segment name so the parent can republish just
+    that segment. Picklable (single string arg) so it survives the
+    process-pool result channel.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+@dataclass
+class FaultPolicy:
+    """Retry/deadline/degradation budget for one campaign's jobs.
+
+    ``backoff_delay(attempt)`` is deterministic given ``backoff_seed``:
+    the jitter comes from this policy's own ``default_rng`` stream, never
+    from the training RNGs, so enabling retries cannot perturb results
+    and a replayed failure scenario waits the same milliseconds.
+    """
+
+    #: wall-clock seconds a single job may run before the watchdog kills
+    #: the workers and the job is retried; ``None`` disables the watchdog
+    job_deadline: float | None = None
+    #: consecutive failures of one job before degrading to inline execution
+    max_retries: int = 2
+    #: first backoff wait (seconds); attempt ``n`` waits
+    #: ``base * factor**(n-1)``, capped at ``backoff_max``
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: ± fraction of jittered spread around the exponential schedule
+    backoff_jitter: float = 0.1
+    #: seed of the dedicated jitter stream (reproducible retry timing)
+    backoff_seed: int = 0
+    #: verify segment fingerprints on worker attach and republish on
+    #: mismatch (detects corruption instead of silently training on it)
+    verify_segments: bool = True
+    _backoff_rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._backoff_rng = np.random.default_rng(self.backoff_seed)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.backoff_jitter:
+            delay *= 1.0 + self.backoff_jitter * float(
+                self._backoff_rng.uniform(-1.0, 1.0)
+            )
+        return max(0.0, delay)
+
+
+class ChaosPlan:
+    """A seeded, replayable schedule of injected faults.
+
+    Wire format (``parse``): semicolon-separated ``kind@job[:value]``
+    events, where ``kind`` is one of
+
+    - ``kill``     — kill one worker process right after job ``K`` is
+      submitted (before its result is collected), forcing a redispatch;
+    - ``delay``    — make job ``K`` sleep ``value`` seconds inside the
+      worker (drive it past a watchdog deadline);
+    - ``corrupt``  — flip one byte (at a seeded offset) of the feature —
+      else shard — segment of job ``K`` *before* dispatch, so attach
+      verification must catch it;
+    - ``tear``     — abort checkpoint save number ``K`` (0-based) after
+      its payloads are written but before the atomic manifest/history
+      swap, simulating a crash mid-save.
+
+    ``job`` is the backend's global job index (0-based, counted across
+    per-client, cohort-chunk and eval-shard submissions), or ``*`` to
+    fire on every job. Indexed events fire exactly once; ``*`` events
+    fire every time. The byte offsets chosen by ``corrupt`` come from the
+    plan's own seeded RNG, so a scenario replays bit-for-bit.
+    """
+
+    KINDS = ("kill", "delay", "corrupt", "tear")
+
+    def __init__(self, events: list[tuple[str, int | None, float]] | None = None,
+                 seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        #: (kind, job index or None for ``*``, value)
+        self.events = list(events or [])
+        self._fired: set[int] = set()
+        self._saves_seen = 0
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "ChaosPlan":
+        events: list[tuple[str, int | None, float]] = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            head, _, value = chunk.partition(":")
+            kind, _, index = head.partition("@")
+            kind = kind.strip()
+            if kind not in cls.KINDS:
+                raise ValueError(
+                    f"unknown chaos kind {kind!r}; expected one of {cls.KINDS}"
+                )
+            if not index:
+                raise ValueError(f"chaos event {chunk!r} is missing '@job'")
+            job = None if index.strip() == "*" else int(index)
+            events.append((kind, job, float(value) if value else 0.0))
+        return cls(events, seed=seed)
+
+    def spec(self) -> str:
+        """The plan re-encoded in the ``parse`` wire format."""
+        parts = []
+        for kind, job, value in self.events:
+            where = "*" if job is None else str(job)
+            parts.append(
+                f"{kind}@{where}" + (f":{value:g}" if value else "")
+            )
+        return ";".join(parts)
+
+    def _take(self, kind: str, index: int) -> tuple[str, int | None, float] | None:
+        for pos, (ekind, ejob, value) in enumerate(self.events):
+            if ekind != kind:
+                continue
+            if ejob is None:
+                return self.events[pos]
+            if ejob == index and pos not in self._fired:
+                self._fired.add(pos)
+                return self.events[pos]
+        return None
+
+    def kill_before(self, index: int) -> bool:
+        """Should a worker die around job ``index``?"""
+        return self._take("kill", index) is not None
+
+    def delay_for(self, index: int) -> float:
+        """Seconds job ``index`` should stall inside the worker (0 = none)."""
+        event = self._take("delay", index)
+        return event[2] if event is not None else 0.0
+
+    def corrupt_before(self, index: int) -> bool:
+        """Should a segment of job ``index`` be corrupted before dispatch?"""
+        return self._take("corrupt", index) is not None
+
+    def corrupt_offset(self, nbytes: int) -> int:
+        """Seeded byte offset to flip within an ``nbytes`` segment."""
+        return int(self._rng.integers(0, max(1, nbytes)))
+
+    def tear_save(self) -> bool:
+        """Should the save happening *now* be torn? (internal save counter)"""
+        index = self._saves_seen
+        self._saves_seen += 1
+        return self._take("tear", index) is not None
+
+
+# -- process-wide chaos install (test/CLI hook for the checkpoint tear) ----
+
+_ACTIVE_CHAOS: ChaosPlan | None = None
+
+
+def install_chaos(plan: ChaosPlan | None) -> ChaosPlan | None:
+    """Make ``plan`` visible to checkpoint writers (``None`` uninstalls)."""
+    global _ACTIVE_CHAOS
+    _ACTIVE_CHAOS = plan
+    return plan
+
+
+def active_chaos() -> ChaosPlan | None:
+    return _ACTIVE_CHAOS
+
+
+# -- supervised execution ---------------------------------------------------
+
+
+def run_supervised(
+    start,
+    resume,
+    checkpoint_path: str,
+    max_restarts: int = 2,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+):
+    """Run ``start()``; on a crash, resume from ``checkpoint_path``.
+
+    ``start`` launches the run from scratch; ``resume`` picks it up from
+    the newest checkpoint under ``checkpoint_path`` (the training loops
+    write an *emergency* checkpoint on the way down when
+    ``emergency_checkpoint=True``, so a resume is almost always
+    available). If no checkpoint exists yet the restart falls back to
+    ``start`` again. After ``max_restarts`` failed attempts the last
+    exception propagates — supervision is bounded, not a retry-forever
+    loop.
+
+    Restart *results* are bitwise-exact because resume is: both
+    checkpoint formats capture every RNG stream and the loops re-derive
+    identical draws (see DESIGN.md "Fault-tolerant runtime").
+    """
+    import os
+
+    attempts = 0
+    while True:
+        try:
+            if attempts == 0:
+                return start()
+            has_checkpoint = os.path.exists(
+                os.path.join(checkpoint_path, "history.json")
+            ) or os.path.exists(
+                os.path.join(checkpoint_path, "async_state.json")
+            )
+            if has_checkpoint:
+                return resume()
+            return start()
+        except retry_on:
+            attempts += 1
+            FAULTS["supervised_restarts"] += 1
+            if attempts > max_restarts:
+                raise

@@ -107,6 +107,7 @@ def run_async_federated_training(
     on_event: Callable[[EventRecord], None] | None = None,
     resume: AsyncRunState | None = None,
     feature_runtime=None,
+    emergency_checkpoint: bool = False,
 ) -> EventLog:
     """Process up to ``max_events`` client completions through ``aggregator``.
 
@@ -128,6 +129,14 @@ def run_async_federated_training(
     write); an exception it raises aborts the run — the mechanism the
     kill-and-resume tests use.
 
+    With ``emergency_checkpoint=True`` (requires ``checkpoint_path``), the
+    loop snapshots the run state after every processed event and, on a
+    crash anywhere in the loop — a worker failure past its retry budget,
+    an ``on_event`` kill, a signal — writes that snapshot as a normal
+    async checkpoint on the way down before re-raising, so a supervised
+    restart (:func:`repro.engine.faults.run_supervised`) resumes from the
+    last completed event instead of the last periodic save.
+
     ``resume`` is internal: a restored state handed over by the resume
     entry point in :mod:`repro.fl.checkpoint`. The caller must restore the
     server's weights and round index before the call.
@@ -148,6 +157,8 @@ def run_async_federated_training(
         raise ValueError("checkpoint_every must be non-negative")
     if checkpoint_every and not checkpoint_path:
         raise ValueError("checkpoint_every requires a checkpoint_path")
+    if emergency_checkpoint and not checkpoint_path:
+        raise ValueError("emergency_checkpoint requires a checkpoint_path")
     timing = timing or TimingModel()
     availability = availability or AlwaysAvailable()
     owns_backend = backend is None
@@ -457,6 +468,9 @@ def run_async_federated_training(
         clock.advance_to(min(times))
         return True
 
+    #: latest between-events snapshot; written on the way down by the
+    #: crash path when ``emergency_checkpoint`` is on
+    last_state: AsyncRunState | None = None
     try:
         dispatch_ready()
         while len(log) < max_events:
@@ -478,6 +492,7 @@ def run_async_federated_training(
                 )
             if len(log) < max_events:
                 dispatch_ready()
+            state = None
             if (
                 checkpoint_path
                 and checkpoint_every > 0
@@ -486,7 +501,13 @@ def run_async_federated_training(
                 # Local import: fl.checkpoint imports this module for resume.
                 from repro.fl.checkpoint import save_async_checkpoint
 
-                save_async_checkpoint(checkpoint_path, capture_state())
+                state = capture_state()
+                save_async_checkpoint(checkpoint_path, state)
+            if emergency_checkpoint:
+                # Stash a consistent between-events snapshot for the
+                # crash-path save below (reusing the periodic one when a
+                # save just happened at this exact point).
+                last_state = state if state is not None else capture_state()
             if on_event is not None:
                 on_event(record)
         # Fold any remainder stranded in a partial buffer (FedBuff) into
@@ -517,6 +538,20 @@ def run_async_federated_training(
             log.records[-1] = replace(
                 log.records[-1], test_accuracy=last_accuracy, evaluated=True
             )
+    except BaseException:
+        if last_state is not None:
+            # Best-effort emergency save; the original crash must
+            # propagate whatever happens here. (Local imports: the
+            # checkpoint module imports this one for resume.)
+            try:
+                from repro.engine.faults import FAULTS
+                from repro.fl.checkpoint import save_async_checkpoint
+
+                save_async_checkpoint(checkpoint_path, last_state)
+                FAULTS["emergency_checkpoints"] += 1
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
+        raise
     finally:
         if owns_backend:
             backend.close()

@@ -36,6 +36,7 @@ from repro.engine.backends import (
     make_backend,
 )
 from repro.engine.campaign import CampaignSegmentPool
+from repro.engine.faults import ChaosPlan, FaultPolicy, install_chaos
 from repro.fl.features import FeatureRuntime
 from repro.engine.records import EventLog
 from repro.engine.runner import run_async_federated_training
@@ -188,6 +189,9 @@ class ExperimentHarness:
         pooled_serial_eval: bool = False,
         feature_byte_budget: int | None = None,
         telemetry: "TelemetrySession | None" = None,
+        job_timeout: float | None = None,
+        max_job_retries: int | None = None,
+        chaos: "str | ChaosPlan | None" = None,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -241,6 +245,27 @@ class ExperimentHarness:
         self._specs: dict[tuple[str, str], DomainSpec] = {}
         self._pretrained: dict[tuple[str, str], dict[str, np.ndarray]] = {}
         self._partitions: dict[tuple, list[np.ndarray]] = {}
+        #: fault layer (repro.engine.faults): a per-job deadline and/or a
+        #: retry budget build a FaultPolicy threaded to every worker
+        #: backend; recovery is bitwise invisible, so results match the
+        #: policy-free run exactly
+        self.fault_policy = None
+        if job_timeout is not None or max_job_retries is not None:
+            policy_args = {}
+            if job_timeout is not None:
+                policy_args["job_deadline"] = float(job_timeout)
+            if max_job_retries is not None:
+                policy_args["max_retries"] = int(max_job_retries)
+            self.fault_policy = FaultPolicy(**policy_args)
+        #: deterministic chaos schedule (``--chaos "kill@3;delay@5:0.2"``);
+        #: installed process-wide so checkpoint writers see the tear events
+        self.chaos = (
+            ChaosPlan.parse(chaos, seed=seed) if isinstance(chaos, str) else chaos
+        )
+        self._installed_chaos = False
+        if self.chaos is not None:
+            install_chaos(self.chaos)
+            self._installed_chaos = True
         #: optional observability session (repro.obs.report); read-only
         #: with respect to training state — results are bitwise identical
         #: with or without it
@@ -290,6 +315,8 @@ class ExperimentHarness:
                     feature_runtime=self.feature_runtime,
                     fused_solver=self.fused_solver,
                     cohort_solver=self.cohort_solver,
+                    fault_policy=self.fault_policy,
+                    chaos=self.chaos,
                 )
             return self._campaign_backend
         return make_backend(
@@ -297,6 +324,8 @@ class ExperimentHarness:
             self.max_workers,
             feature_runtime=self.feature_runtime,
             cohort_solver=self.cohort_solver,
+            fault_policy=self.fault_policy,
+            chaos=self.chaos,
         )
 
     def close(self) -> None:
@@ -314,6 +343,9 @@ class ExperimentHarness:
             self.segment_pool = None
         if self.feature_runtime is not None:
             self.feature_runtime.clear()
+        if self._installed_chaos:
+            install_chaos(None)
+            self._installed_chaos = False
 
     def __enter__(self) -> "ExperimentHarness":
         return self

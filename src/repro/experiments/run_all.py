@@ -97,6 +97,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock deadline on worker backends; a hung job is "
+            "killed and redispatched bitwise identically "
+            "(repro.engine.faults.FaultPolicy)"
+        ),
+    )
+    parser.add_argument(
+        "--max-job-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "consecutive failures of one job before it degrades to inline "
+            "execution (default: FaultPolicy's 2); enables the fault layer"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. 'kill@3;delay@5:0.2;"
+            "corrupt@0;tear@1' — kill a worker after job 3, stall job 5 "
+            "for 0.2s, corrupt a segment of job 0, tear checkpoint save 1; "
+            "results stay bitwise identical to the fault-free run "
+            "(repro.engine.faults.ChaosPlan)"
+        ),
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="DIR",
@@ -151,6 +184,9 @@ def run_experiments(
     telemetry_dir: str | None = None,
     trace: bool = False,
     telemetry_refresh: float = 0.0,
+    job_timeout: float | None = None,
+    max_job_retries: int | None = None,
+    chaos: str | None = None,
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports.
 
@@ -176,6 +212,9 @@ def run_experiments(
         feature_cache=feature_cache,
         fused_solver=fused_solver,
         cohort_solver=cohort_solver,
+        job_timeout=job_timeout,
+        max_job_retries=max_job_retries,
+        chaos=chaos,
     ) as harness:
         for experiment_id in ids:
             runner, description = get_experiment(experiment_id)
@@ -234,6 +273,9 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_dir=telemetry_dir,
         trace=args.trace,
         telemetry_refresh=args.telemetry_refresh,
+        job_timeout=args.job_timeout,
+        max_job_retries=args.max_job_retries,
+        chaos=args.chaos,
     )
     return 0
 

@@ -92,6 +92,77 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
     from repro.engine.runner import AsyncRunState
 
 
+def _encode_records(records) -> list[dict]:
+    """JSON-encode round records for a sync checkpoint payload."""
+    return [
+        {
+            "round_index": r.round_index,
+            "test_accuracy": r.test_accuracy,
+            "participants": list(r.participants),
+            "selected_samples": r.selected_samples,
+            "client_seconds": r.client_seconds,
+            "cumulative_client_seconds": r.cumulative_client_seconds,
+            "mean_local_loss": r.mean_local_loss,
+            "evaluated": r.evaluated,
+        }
+        for r in records
+    ]
+
+
+def _sync_generation(path: str) -> int:
+    """Highest committed sync state-file generation in ``path`` (0 if none)."""
+    generation = 0
+    for name in os.listdir(path) if os.path.isdir(path) else []:
+        if name.startswith("global_state-") and name.endswith(".npz"):
+            try:
+                generation = max(
+                    generation, int(name[len("global_state-"):-4])
+                )
+            except ValueError:
+                pass
+    return generation
+
+
+def _write_sync_checkpoint(path: str, state, payload: dict) -> None:
+    """Commit a sync checkpoint: fresh state generation, atomic history swap.
+
+    The model state is written under a fresh generation-suffixed name
+    (``global_state-<g>.npz``) that ``payload["state_file"]`` records, so
+    the state file the committed ``history.json`` references is never
+    clobbered by a later save — a crash (or an injected chaos tear) at any
+    point mid-save leaves the *previous* checkpoint fully loadable.
+    Superseded state files are garbage-collected only after the swap.
+    """
+    os.makedirs(path, exist_ok=True)
+    state_file = f"global_state-{_sync_generation(path) + 1}.npz"
+    payload["state_file"] = state_file
+    save_state(os.path.join(path, state_file), state)
+    history_path = os.path.join(path, "history.json")
+    staging = history_path + ".tmp"
+    with open(staging, "w") as handle:
+        json.dump(payload, handle)
+    # Chaos tear hook: simulate the process dying after the payloads are
+    # durable but before the commit point (local import: the fault layer
+    # lives in the engine package, which imports fl submodules).
+    from repro.engine.faults import FAULTS, active_chaos
+
+    plan = active_chaos()
+    if plan is not None and plan.tear_save():
+        FAULTS["chaos_torn_saves"] += 1
+        return
+    os.replace(staging, history_path)
+    for name in os.listdir(path):  # best-effort GC of superseded states
+        superseded = name != state_file and (
+            name == "global_state.npz"
+            or (name.startswith("global_state-") and name.endswith(".npz"))
+        )
+        if superseded:
+            try:
+                os.remove(os.path.join(path, name))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+
 def save_checkpoint(
     path: str,
     server: Server,
@@ -109,28 +180,14 @@ def save_checkpoint(
     see :func:`resume_sync_federated_training`). ``meta`` carries the loop
     parameters the exact resume needs (total rounds, eval cadence, seed,
     client count); ``run_federated_training`` supplies all of this when
-    saving from inside the loop. The history file is swapped in with an
-    atomic replace, so a crash mid-save leaves the previous checkpoint
-    loadable.
+    saving from inside the loop. The state file is generation-suffixed and
+    the history file swapped in with an atomic replace, so a crash at any
+    point mid-save leaves the previous checkpoint loadable.
     """
-    os.makedirs(path, exist_ok=True)
-    save_state(os.path.join(path, "global_state.npz"), server.global_state)
     payload = {
         "format": 2,
         "round_index": server.round_index,
-        "records": [
-            {
-                "round_index": r.round_index,
-                "test_accuracy": r.test_accuracy,
-                "participants": list(r.participants),
-                "selected_samples": r.selected_samples,
-                "client_seconds": r.client_seconds,
-                "cumulative_client_seconds": r.cumulative_client_seconds,
-                "mean_local_loss": r.mean_local_loss,
-                "evaluated": r.evaluated,
-            }
-            for r in history.records
-        ],
+        "records": _encode_records(history.records),
     }
     if clients is not None and sampling_rng is not None:
         payload["sync_runtime"] = {
@@ -146,20 +203,58 @@ def save_checkpoint(
             ),
             "meta": dict(meta or {}),
         }
-    history_path = os.path.join(path, "history.json")
-    staging = history_path + ".tmp"
-    with open(staging, "w") as handle:
-        json.dump(payload, handle)
-    os.replace(staging, history_path)
+    _write_sync_checkpoint(path, server.global_state, payload)
+
+
+def save_emergency_sync_checkpoint(
+    path: str, stash: dict, history: TrainingHistory
+) -> None:
+    """Write a format-2 checkpoint from an end-of-round *stash* on the way
+    down.
+
+    ``run_federated_training(emergency_checkpoint=True)`` snapshots, after
+    every completed round, the references and RNG-state dicts a format-2
+    checkpoint needs (global state, round indices, the sampling stream and
+    every client stream). When a later round crashes mid-flight, this
+    writes that stash — never the live, half-mutated server — so the
+    emergency checkpoint is exactly what a periodic save at the end of the
+    stashed round would have written, and
+    :func:`resume_sync_federated_training` continues it bitwise-exactly.
+    History records past the stashed round (a crash inside the periodic
+    save can leave one) are truncated for consistency.
+    """
+    done = int(stash["rounds_completed"])
+    records = [r for r in history.records if r.round_index <= done]
+    payload = {
+        "format": 2,
+        "round_index": int(stash["round_index"]),
+        "records": _encode_records(records),
+        "sync_runtime": {
+            "sampling_rng_state": _jsonable(stash["sampling_rng_state"]),
+            "client_rng_states": [
+                _jsonable(state) for state in stash["client_rng_states"]
+            ],
+            "rounds_completed": done,
+            "meta": dict(stash["meta"]),
+        },
+    }
+    _write_sync_checkpoint(path, stash["global_state"], payload)
 
 
 def load_checkpoint(path: str, server: Server) -> TrainingHistory:
-    """Restore the global model into ``server`` and return the history."""
-    state = load_state(os.path.join(path, "global_state.npz"))
-    server.set_global_state(state)
-    server.model.load_state_dict(state)
+    """Restore the global model into ``server`` and return the history.
+
+    The history file names the state generation it was committed with
+    (``state_file``); legacy checkpoints fall back to the fixed
+    ``global_state.npz`` name.
+    """
     with open(os.path.join(path, "history.json")) as handle:
         payload = json.load(handle)
+    state = load_state(
+        os.path.join(path, payload.get("state_file", "global_state.npz"))
+    )
+    server.set_global_state(state)
+    server.model.load_state_dict(state)
     server.round_index = int(payload["round_index"])
     history = TrainingHistory()
     for r in payload["records"]:
@@ -247,6 +342,7 @@ def resume_sync_federated_training(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 0,
     on_round=None,
+    emergency_checkpoint: bool = False,
 ) -> TrainingHistory:
     """Continue a format-2 sync checkpoint **bitwise identically**.
 
@@ -306,6 +402,7 @@ def resume_sync_federated_training(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         on_round=on_round,
+        emergency_checkpoint=emergency_checkpoint,
         history=history,
         start_round=done,
         sampling_rng=sampling_rng,
@@ -725,6 +822,17 @@ def _save_async_checkpoint(
         json.dump(payload, handle)
         handle.flush()
         os.fsync(handle.fileno())
+    # Chaos tear hook: die after the payloads are durable, before the
+    # manifest commit — journal bytes past the committed offset and the
+    # fresh-generation npz files are exactly what a real crash strands,
+    # and the previous checkpoint must stay loadable (local import: the
+    # fault layer lives in the engine package).
+    from repro.engine.faults import FAULTS, active_chaos
+
+    plan = active_chaos()
+    if plan is not None and plan.tear_save():
+        FAULTS["chaos_torn_saves"] += 1
+        return
     os.replace(staging, manifest)
     _fsync_file(path)  # the rename itself lives in the directory entry
     keep = set(files.values()) | {server_base["file"]}
@@ -898,6 +1006,7 @@ def resume_async_federated_training(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 0,
     on_event: "Callable[[EventRecord], None] | None" = None,
+    emergency_checkpoint: bool = False,
 ) -> "EventLog":
     """Continue a checkpointed async run to its original ``max_events``.
 
@@ -947,5 +1056,6 @@ def resume_async_federated_training(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         on_event=on_event,
+        emergency_checkpoint=emergency_checkpoint,
         resume=state,
     )

@@ -54,6 +54,12 @@ STATS = export_group(
         "theta_slab_loads": 0,
         "fused_eval_shards": 0,
         "graph_eval_shards": 0,
+        # Jobs the process backend completed *inline* after exhausting
+        # their retry budget (the faults-layer degradation ladder). Safe
+        # to replay anywhere: a dispatched job is a pure function of its
+        # blob's RNG state and the published segments, so the degraded
+        # inline solve is bitwise identical to a worker execution.
+        "degraded_jobs": 0,
     },
 )
 

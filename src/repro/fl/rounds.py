@@ -157,6 +157,7 @@ def run_federated_training(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 0,
     on_round=None,
+    emergency_checkpoint: bool = False,
     history: TrainingHistory | None = None,
     start_round: int = 0,
     sampling_rng: np.random.Generator | None = None,
@@ -188,6 +189,13 @@ def run_federated_training(
     ``on_round`` is called after each round (after any checkpoint write);
     an exception it raises aborts the run — the kill-and-resume hook.
 
+    With ``emergency_checkpoint=True`` (requires ``checkpoint_path``), the
+    loop stashes the end-of-round runtime after every round and, if a
+    later round crashes mid-flight, writes it as a format-2 checkpoint on
+    the way down (:func:`repro.fl.checkpoint.save_emergency_sync_checkpoint`)
+    before re-raising — so a supervised restart resumes from the last
+    *completed* round instead of the last periodic save.
+
     ``history``, ``start_round`` and ``sampling_rng`` are the resume
     plumbing (internal): the loop continues an existing history from
     absolute round ``start_round + 1`` up to ``rounds`` with a restored
@@ -203,12 +211,59 @@ def run_federated_training(
         raise ValueError("checkpoint_every must be non-negative")
     if checkpoint_every and not checkpoint_path:
         raise ValueError("checkpoint_every requires a checkpoint_path")
+    if emergency_checkpoint and not checkpoint_path:
+        raise ValueError("emergency_checkpoint requires a checkpoint_path")
     if not 0 <= start_round <= rounds:
         raise ValueError(f"start_round must be in [0, {rounds}]")
     participation = participation or FullParticipation()
     sampling_rng = sampling_rng if sampling_rng is not None else make_rng(seed)
     history = history if history is not None else TrainingHistory()
     cumulative_seconds = history.total_client_seconds
+    meta = {
+        "rounds": rounds,
+        "eval_every": eval_every,
+        "seed": seed,
+        "num_clients": len(clients),
+    }
+    # One-slot box for the end-of-round runtime snapshot the crash path
+    # saves; the RNG ``.state`` reads are fresh dicts and the global-state
+    # dict is double-buffered by aggregation, so the stash stays intact
+    # while the next round mutates the live run.
+    stash_box: list = [None]
+    try:
+        history = _run_rounds(
+            server, clients, rounds, seed, participation, timing, eval_every,
+            backend, verbose, feature_runtime, checkpoint_path,
+            checkpoint_every, on_round, emergency_checkpoint, history,
+            start_round, sampling_rng, cumulative_seconds, meta,
+            lambda value: stash_box.__setitem__(0, value),
+        )
+    except BaseException:
+        if stash_box[0] is not None:
+            # Best-effort save on the way down; the original crash must
+            # propagate whatever happens here. Local imports: fl.checkpoint
+            # imports this module, and the fault counters live engine-side.
+            try:
+                from repro.engine.faults import FAULTS
+                from repro.fl.checkpoint import save_emergency_sync_checkpoint
+
+                save_emergency_sync_checkpoint(
+                    checkpoint_path, stash_box[0], history
+                )
+                FAULTS["emergency_checkpoints"] += 1
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
+        raise
+    return history
+
+
+def _run_rounds(
+    server, clients, rounds, seed, participation, timing, eval_every,
+    backend, verbose, feature_runtime, checkpoint_path, checkpoint_every,
+    on_round, emergency_checkpoint, history, start_round, sampling_rng,
+    cumulative_seconds, meta, set_stash,
+):
+    """The round loop proper; ``set_stash`` feeds the crash-path save."""
     for round_index in range(start_round + 1, rounds + 1):
         chosen = participation.participants(
             round_index, len(clients), sampling_rng
@@ -269,12 +324,20 @@ def run_federated_training(
                 history,
                 clients=clients,
                 sampling_rng=sampling_rng,
-                meta={
-                    "rounds": rounds,
-                    "eval_every": eval_every,
-                    "seed": seed,
-                    "num_clients": len(clients),
-                },
+                meta=meta,
+            )
+        if emergency_checkpoint:
+            set_stash(
+                {
+                    "global_state": server.global_state,
+                    "round_index": server.round_index,
+                    "sampling_rng_state": sampling_rng.bit_generator.state,
+                    "client_rng_states": [
+                        client.rng.bit_generator.state for client in clients
+                    ],
+                    "rounds_completed": round_index,
+                    "meta": meta,
+                }
             )
         if on_round is not None:
             on_round(record)

@@ -13,6 +13,8 @@ hierarchical namespace::
     comm.*               simulated θ / full-model traffic
     solver.fused.*       fused-kernel plan builds and solve counts
     backend.process.*    warm-worker job dispatch and payload sizes
+    faults.*             retries / respawns / timeouts / degradations and
+                         injected chaos events (see repro.engine.faults)
 
 Three design constraints shape the types here:
 

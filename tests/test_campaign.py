@@ -40,7 +40,7 @@ def test_pool_publishes_once_and_refcounts():
         assert first.refs == 2
         assert pool.stats == {
             "publishes": 1, "hits": 1, "segments": 1, "evictions": 0,
-            "bytes": first.nbytes,
+            "bytes": first.nbytes, "verifies": 1, "corruptions": 0,
         }
         pool.release(("shard", 0))
         assert first.refs == 1

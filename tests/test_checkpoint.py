@@ -667,3 +667,99 @@ def test_legacy_inline_record_manifest_still_loads(tmp_path):
         assert _states_identical(
             loaded.snapshots[version], state.snapshots[version]
         )
+
+
+# ---------------------------------------------------------------------------
+# Emergency checkpoints under chaos (repro.engine.faults)
+# ---------------------------------------------------------------------------
+
+
+def test_emergency_checkpoint_resumes_after_chaos_kill(tmp_path):
+    """Worker killed mid-cohort-round, then the parent dies: the crash
+    handler's emergency checkpoint alone (no periodic saves ever ran) must
+    resume to the fault-free run's exact θ bytes, EventLog and accuracies.
+    """
+    from repro.engine.faults import FAULTS, ChaosPlan, FaultPolicy
+    from repro.obs.metrics import reset_exported
+
+    reset_exported()
+    path = os.path.join(tmp_path, "ckpt")
+    full_server, full_log = _run_uninterrupted("fedbuff")
+
+    def bomb(record):
+        if record.event_index == 8:
+            raise _Killed
+
+    server, clients = make_federation()
+    # chaos kills a worker during the initial cohort dispatch; the fault
+    # layer respawns the pool and redispatches the exact job blob, so the
+    # run is still on the fault-free trajectory when the parent dies
+    with ProcessPoolBackend(
+        max_workers=2,
+        fault_policy=FaultPolicy(max_retries=3, backoff_base=0.01),
+        chaos=ChaosPlan.parse("kill@2", seed=0),
+    ) as backend:
+        with pytest.raises(_Killed):
+            run_async_federated_training(
+                server,
+                clients,
+                _aggregator("fedbuff"),
+                max_events=MAX_EVENTS,
+                seed=11,
+                timing=STRAGGLED,
+                backend=backend,
+                checkpoint_path=path,
+                emergency_checkpoint=True,
+                on_event=bomb,
+            )
+    assert FAULTS["chaos_kills"] == 1
+    assert FAULTS["respawns"] >= 1
+    assert FAULTS["emergency_checkpoints"] == 1
+
+    state = load_async_checkpoint(path)
+    assert len(state.records) == 9  # events 0..8 survived the crash
+
+    server2, clients2 = make_federation()
+    resumed_log = resume_async_federated_training(
+        path, server2, clients2, _aggregator("fedbuff"), timing=STRAGGLED
+    )
+    assert _logs_identical(full_log, resumed_log)
+    assert _states_identical(full_server.global_state, server2.global_state)
+    assert full_log.accuracies.tolist() == resumed_log.accuracies.tolist()
+
+
+def test_sync_emergency_checkpoint_resumes_bitwise(tmp_path):
+    """Sync variant: a crash between periodic saves restores from the
+    emergency stash, not the stale round-aligned checkpoint."""
+    from repro.engine.faults import FAULTS
+    from repro.fl.checkpoint import resume_sync_federated_training
+    from repro.obs.metrics import reset_exported
+
+    reset_exported()
+    path = os.path.join(tmp_path, "ckpt")
+    server, clients = make_federation(seed=6)
+    full = run_federated_training(server, clients, rounds=5, seed=2)
+    full_theta = {k: v.copy() for k, v in server.global_state.items()}
+
+    def bomb(record):
+        if record.round_index == 3:
+            raise _Killed
+
+    server2, clients2 = make_federation(seed=6)
+    with pytest.raises(_Killed):
+        run_federated_training(
+            server2, clients2, rounds=5, seed=2,
+            checkpoint_path=path, checkpoint_every=2,
+            emergency_checkpoint=True, on_round=bomb,
+        )
+    assert FAULTS["emergency_checkpoints"] == 1
+    restored_server, _ = make_federation(seed=6)
+    restored = load_checkpoint(path, restored_server)
+    # cadence-2 saves ran after round 2 only; round 3 being on disk proves
+    # the crash handler's emergency stash, not the periodic writer
+    assert restored.records[-1].round_index == 3
+
+    server3, clients3 = make_federation(seed=6)
+    resumed = resume_sync_federated_training(path, server3, clients3)
+    assert resumed.accuracies.tolist() == full.accuracies.tolist()
+    assert _states_identical(full_theta, server3.global_state)
