@@ -1,0 +1,90 @@
+"""Warm-started campaign: cache artifacts on disk, reproduce bitwise.
+
+The durable artifact store (:mod:`repro.store`) persists pretrained ϕ
+backbones and materialised feature segments under a content-addressed
+cache directory, CRC-verifying every read and quarantining anything
+corrupt or torn. The contract is that caching never changes results: a
+campaign warm-started from the store is **bitwise identical** to a cold
+run, it just skips the pretraining epochs and feature forwards.
+
+This script runs the same small campaign three times:
+
+1. with no store — the reference trajectory;
+2. cold, against an empty cache directory — populating the store;
+3. warm, against the now-populated directory —
+
+then proves all three produce identical accuracies and final θ bytes,
+that the warm run avoided every build (``store.builds_avoided > 0``,
+``store.writes`` unchanged), and prints the ``store.*`` counters. CI runs
+this as its warm-start smoke (pointing ``REPRO_CACHE`` at a throwaway
+directory); it must exit non-zero if the warm path ever diverges.
+
+Run:  python examples/warm_start_campaign.py [cache_dir]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core import FedFTEDSConfig, run_fedft_eds
+from repro.store import STORE
+
+CONFIG = dict(
+    seed=5,
+    rounds=2,
+    num_clients=4,
+    train_size=160,
+    test_size=80,
+    pretrain_epochs=2,
+    local_epochs=1,
+    image_size=8,
+)
+
+
+def campaign(cache_dir=None):
+    result = run_fedft_eds(FedFTEDSConfig(cache_dir=cache_dir, **CONFIG))
+    return (
+        np.asarray(result.history.accuracies),
+        {k: v.copy() for k, v in result.model.state_dict().items()},
+    )
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        cache_dir = sys.argv[1]
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="repro-warm-start-")
+
+    print("reference: no artifact store")
+    reference_acc, reference_theta = campaign()
+
+    print(f"cold run:  empty store at {cache_dir}")
+    cold_acc, cold_theta = campaign(cache_dir)
+    writes = STORE["writes"]
+    assert writes > 0, "the cold run must populate the store"
+
+    print("warm run:  same store, nothing should rebuild")
+    avoided_before = STORE["builds_avoided"]
+    warm_acc, warm_theta = campaign(cache_dir)
+
+    for label, acc, theta in (
+        ("cold", cold_acc, cold_theta),
+        ("warm", warm_acc, warm_theta),
+    ):
+        assert acc.tobytes() == reference_acc.tobytes(), label
+        assert set(theta) == set(reference_theta), label
+        for key, value in reference_theta.items():
+            assert theta[key].tobytes() == value.tobytes(), (label, key)
+    assert STORE["builds_avoided"] > avoided_before, dict(STORE)
+    assert STORE["writes"] == writes, dict(STORE)
+    assert STORE["corruptions"] == 0 and STORE["poisoned"] == 0, dict(STORE)
+
+    print("bitwise identical across no-store/cold/warm; store.* counters:")
+    for key, value in sorted(STORE.items()):
+        if value:
+            print(f"  store.{key:18s} {value}")
+
+
+if __name__ == "__main__":
+    main()

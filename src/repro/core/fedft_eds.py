@@ -42,7 +42,12 @@ from repro.nn.cnn import SmallConvNet
 from repro.nn.wrn import TinyWRN, WideResNet
 from repro.nn.segmented import SegmentedModel
 from repro.pretrain.pretrainer import PretrainConfig, pretrain_model
+from repro.store import resolve_store
 from repro.utils import spawn_rngs
+
+#: schema version of the pretrained-backbone store key: bump when anything
+#: the key does not pin starts affecting the pretrained bytes
+PRETRAIN_KEY_VERSION = 1
 
 
 @dataclass
@@ -151,6 +156,16 @@ class FedFTEDSConfig:
     #: with ``telemetry_dir``: also record dual-clock spans and export a
     #: Perfetto-loadable ``trace.json``
     trace: bool = False
+    #: durable artifact store (repro.store): root directory override for
+    #: ``${REPRO_CACHE:-~/.cache/repro}``; setting it enables the store
+    cache_dir: str | None = None
+    #: force the artifact store on (``True`` — at ``cache_dir`` or the
+    #: default root) or off (``False``), or pass a prebuilt
+    #: :class:`repro.store.ArtifactStore`; ``None`` enables it exactly
+    #: when ``cache_dir`` is set. With a store, pretrained ϕ backbones and
+    #: feature segments warm-start across processes — bitwise identical
+    #: to a cold run (a campaign's own store takes precedence)
+    artifact_store: object | None = None
 
 
 @dataclass
@@ -222,10 +237,20 @@ class FedFTEDSCampaign:
         self,
         max_workers: int | None = None,
         feature_byte_budget: int | None = None,
+        cache_dir: str | None = None,
+        artifact_store: object | None = None,
     ):
         self.max_workers = max_workers
-        self.segment_pool = CampaignSegmentPool(byte_budget=feature_byte_budget)
-        self.feature_runtime = FeatureRuntime(byte_budget=feature_byte_budget)
+        #: durable cross-process store (repro.store.resolve_store rules):
+        #: pool publishes read through it, byte-budget evictions spill to
+        #: it, and runs warm-start their pretrained ϕ from it
+        self.artifact_store = resolve_store(artifact_store, cache_dir)
+        self.segment_pool = CampaignSegmentPool(
+            byte_budget=feature_byte_budget, store=self.artifact_store
+        )
+        self.feature_runtime = FeatureRuntime(
+            byte_budget=feature_byte_budget, store=self.artifact_store
+        )
         self._process_backend: ProcessPoolBackend | None = None
 
     def backend_for(self, config: "FedFTEDSConfig"):
@@ -392,15 +417,45 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
         test_size=config.test_size,
     )
 
+    # Durable artifact store: the campaign's store when it has one, else
+    # the config's own knobs (None + no cache_dir → disabled).
+    store = None
+    if config.campaign is not None:
+        store = config.campaign.artifact_store
+    if store is None:
+        store = resolve_store(config.artifact_store, config.cache_dir)
+
     model = build_model(
         config.model, target.input_shape, source.num_classes, model_rng
     )
     if config.pretrain:
-        pretrain_model(
-            model,
-            source,
-            PretrainConfig(epochs=config.pretrain_epochs, seed=config.seed),
+        pretrain_config = PretrainConfig(
+            epochs=config.pretrain_epochs, seed=config.seed
         )
+        if store is not None:
+            # Warm-start: the pretrained bytes are a pure function of the
+            # key below (model init RNG, source domain, pretrain config
+            # — all derived from these fields). Loading the stored state
+            # is bitwise identical to re-pretraining, and skipping the
+            # training consumes no shared RNG stream (pretraining draws
+            # from its own seeded stream), so the rest of the run cannot
+            # drift.
+            pretrain_key = (
+                "pretrain", PRETRAIN_KEY_VERSION, "fedft", config.seed,
+                config.model, config.dataset, config.image_size,
+                config.pretrain_epochs,
+            )
+
+            def _pretrain() -> dict:
+                pretrain_model(model, source, pretrain_config)
+                return model.state_dict()
+
+            state, built = store.get_or_build(pretrain_key, _pretrain)
+            if not built:
+                model.load_state_dict(state)
+                model.eval()  # pretrain_model leaves the model in eval mode
+        else:
+            pretrain_model(model, source, pretrain_config)
     adapt_to_task(model, target.num_classes, head_rng)
     prepare_partial_model(model, config.fine_tune_level)
 
@@ -449,13 +504,22 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
         # uninstalled on the way out.
         install_chaos(chaos)
         installed_chaos = True
+    standalone_pool = None
     if config.campaign is not None:
         backend = config.campaign.backend_for(config)
     else:
+        if store is not None and config.backend == "process":
+            # A store-enabled standalone process run gets its own (run-
+            # lifetime) segment pool so feature/eval segments read through
+            # the durable store; closed in the finally below.
+            standalone_pool = CampaignSegmentPool(store=store)
         backend = make_backend(
             config.backend,
             config.max_workers,
-            feature_runtime=FeatureRuntime() if config.feature_cache else None,
+            segment_pool=standalone_pool,
+            feature_runtime=(
+                FeatureRuntime(store=store) if config.feature_cache else None
+            ),
             fused_solver=config.fused_solver,
             cohort_solver=config.cohort_solver,
             fault_policy=fault_policy,
@@ -532,6 +596,8 @@ def run_fedft_eds(config: FedFTEDSConfig) -> FedFTEDSResult:
     finally:
         server.evaluator = None
         backend.close()
+        if standalone_pool is not None:
+            standalone_pool.close()
         if installed_chaos:
             install_chaos(None)
         if session is not None:

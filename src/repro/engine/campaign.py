@@ -191,10 +191,14 @@ class CampaignSegmentPool:
     #: shards, whose publish-once economics the campaign is built on.
     BUDGET_KINDS = ("feat", "eval")
 
-    def __init__(self, byte_budget: int | None = None):
+    def __init__(self, byte_budget: int | None = None, store=None):
         if byte_budget is not None and byte_budget <= 0:
             raise ValueError("byte_budget must be positive when set")
         self.byte_budget = byte_budget
+        #: optional durable :class:`repro.store.ArtifactStore`: publishes of
+        #: rebuildable kinds (:data:`BUDGET_KINDS`) read through it and
+        #: budget evictions spill to it, extending the LRU to disk
+        self.store = store
         # Insertion order doubles as recency order (acquire re-inserts),
         # so iteration starts at the LRU victim.
         self._segments: dict[Hashable, PoolSegment] = {}
@@ -239,7 +243,13 @@ class CampaignSegmentPool:
         segment = self._segments.get(key)
         if segment is None:
             with tracing.span("pool.publish"):
-                arrays = arrays_factory()
+                if self.store is not None and _key_kind(key) in self.BUDGET_KINDS:
+                    # durable read-through for rebuildable kinds: a warm
+                    # campaign publishes from a verified disk read instead
+                    # of re-running the factory (bitwise identical bytes)
+                    arrays, _ = self.store.get_or_build(key, arrays_factory)
+                else:
+                    arrays = arrays_factory()
                 layout, nbytes = _array_layout(arrays)
                 shm = shared_memory.SharedMemory(create=True, size=nbytes)
                 _write_arrays(shm.buf, layout, arrays)
@@ -355,6 +365,8 @@ class CampaignSegmentPool:
             if kinds is not None and _key_kind(key) not in kinds:
                 continue
             segment = self._segments.pop(key)
+            if self.store is not None and _key_kind(key) in self.BUDGET_KINDS:
+                self._spill(segment)
             self.stats["bytes"] -= segment.nbytes
             if evictable_bytes is not None:
                 evictable_bytes -= segment.nbytes
@@ -363,6 +375,19 @@ class CampaignSegmentPool:
             evicted += 1
         self.stats["segments"] = len(self._segments)
         return evicted
+
+    def _spill(self, segment: PoolSegment) -> None:
+        """Land an evicted rebuildable segment in the durable store, so the
+        next acquire is a verified disk read instead of a factory rerun."""
+        from repro.engine.backends import _view_arrays
+
+        arrays = {
+            name: np.array(view, copy=True)
+            for name, view in _view_arrays(
+                segment.shm.buf, segment.layout
+            ).items()
+        }
+        self.store.spill(segment.key, arrays)
 
     def close(self) -> None:
         """Unlink every segment; the pool may not be reused after."""

@@ -56,6 +56,8 @@ FAULTS = obs_metrics.export_group(
         "chaos_delays": 0,
         "chaos_corruptions": 0,
         "chaos_torn_saves": 0,
+        "chaos_disk_corruptions": 0,
+        "chaos_disk_tears": 0,
     },
 )
 
@@ -151,16 +153,30 @@ class ChaosPlan:
       verification must catch it;
     - ``tear``     — abort checkpoint save number ``K`` (0-based) after
       its payloads are written but before the atomic manifest/history
-      swap, simulating a crash mid-save.
+      swap, simulating a crash mid-save;
+    - ``disk-tear``    — abort artifact-store write number ``K``
+      (0-based, counted per plan) after the payload commit but before
+      the CRC sidecar commit, leaving a torn store entry for the
+      quarantine path to detect;
+    - ``disk-corrupt`` — flip one byte (at a seeded offset) of artifact-
+      store write number ``K`` *after* its commit, so the next CRC
+      verification must quarantine and rebuild it.
 
     ``job`` is the backend's global job index (0-based, counted across
     per-client, cohort-chunk and eval-shard submissions), or ``*`` to
-    fire on every job. Indexed events fire exactly once; ``*`` events
-    fire every time. The byte offsets chosen by ``corrupt`` come from the
+    fire on every job. ``tear`` counts checkpoint saves and
+    ``disk-tear``/``disk-corrupt`` count store writes instead of jobs.
+    Indexed events fire exactly once; ``*`` events fire every time. The
+    byte offsets chosen by ``corrupt``/``disk-corrupt`` come from the
     plan's own seeded RNG, so a scenario replays bit-for-bit.
     """
 
-    KINDS = ("kill", "delay", "corrupt", "tear")
+    KINDS = ("kill", "delay", "corrupt", "tear", "disk-corrupt", "disk-tear")
+
+    #: one-line grammar, quoted by every parse error
+    GRAMMAR = "kind@job[:value] events joined by ';', kind in %s, job an int or '*'" % (
+        "/".join(KINDS),
+    )
 
     def __init__(self, events: list[tuple[str, int | None, float]] | None = None,
                  seed: int = 0):
@@ -170,6 +186,7 @@ class ChaosPlan:
         self.events = list(events or [])
         self._fired: set[int] = set()
         self._saves_seen = 0
+        self._store_writes_seen = 0
 
     @classmethod
     def parse(cls, spec: str, seed: int = 0) -> "ChaosPlan":
@@ -179,16 +196,44 @@ class ChaosPlan:
             if not chunk:
                 continue
             head, _, value = chunk.partition(":")
-            kind, _, index = head.partition("@")
+            kind, at, index = head.partition("@")
             kind = kind.strip()
             if kind not in cls.KINDS:
                 raise ValueError(
-                    f"unknown chaos kind {kind!r}; expected one of {cls.KINDS}"
+                    f"chaos spec {spec!r}: unknown chaos kind {kind!r} in "
+                    f"event {chunk!r} (grammar: {cls.GRAMMAR})"
                 )
-            if not index:
-                raise ValueError(f"chaos event {chunk!r} is missing '@job'")
-            job = None if index.strip() == "*" else int(index)
-            events.append((kind, job, float(value) if value else 0.0))
+            index = index.strip()
+            if not at or not index:
+                raise ValueError(
+                    f"chaos spec {spec!r}: event {chunk!r} is missing '@job' "
+                    f"(grammar: {cls.GRAMMAR})"
+                )
+            if index == "*":
+                job = None
+            else:
+                try:
+                    job = int(index)
+                except ValueError:
+                    raise ValueError(
+                        f"chaos spec {spec!r}: bad job index {index!r} in "
+                        f"event {chunk!r} — expected an int or '*' "
+                        f"(grammar: {cls.GRAMMAR})"
+                    ) from None
+                if job < 0:
+                    raise ValueError(
+                        f"chaos spec {spec!r}: negative job index {index!r} "
+                        f"in event {chunk!r} (grammar: {cls.GRAMMAR})"
+                    )
+            try:
+                parsed_value = float(value) if value else 0.0
+            except ValueError:
+                raise ValueError(
+                    f"chaos spec {spec!r}: bad value {value!r} in event "
+                    f"{chunk!r} — expected a float after ':' "
+                    f"(grammar: {cls.GRAMMAR})"
+                ) from None
+            events.append((kind, job, parsed_value))
         return cls(events, seed=seed)
 
     def spec(self) -> str:
@@ -234,6 +279,23 @@ class ChaosPlan:
         index = self._saves_seen
         self._saves_seen += 1
         return self._take("tear", index) is not None
+
+    def disk_fault_for_write(self) -> str | None:
+        """Fault for the artifact-store write happening *now*, if any.
+
+        Each call advances the plan's store-write counter (the disk
+        analogue of ``tear_save``'s save counter). Returns
+        ``"disk-tear"``, ``"disk-corrupt"`` or ``None``; a tear wins when
+        both target the same write, because a torn entry never reaches
+        the commit a corruption would flip.
+        """
+        index = self._store_writes_seen
+        self._store_writes_seen += 1
+        if self._take("disk-tear", index) is not None:
+            return "disk-tear"
+        if self._take("disk-corrupt", index) is not None:
+            return "disk-corrupt"
+        return None
 
 
 # -- process-wide chaos install (test/CLI hook for the checkpoint tear) ----

@@ -55,7 +55,12 @@ from repro.nn.segmented import SegmentedModel
 from repro.nn.wrn import WideResNet
 from repro.pretrain.centralized import CentralizedConfig, CentralizedResult, train_centralized
 from repro.pretrain.pretrainer import PretrainConfig, pretrain_model
+from repro.store import resolve_store
 from repro.experiments.scales import Scale, get_scale
+
+#: schema version of the harness's pretrained-backbone store keys: bump
+#: when anything the key does not pin starts affecting pretrained bytes
+_PRETRAIN_KEY_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -192,6 +197,8 @@ class ExperimentHarness:
         job_timeout: float | None = None,
         max_job_retries: int | None = None,
         chaos: "str | ChaosPlan | None" = None,
+        cache_dir: str | None = None,
+        artifact_store: object | None = None,
     ):
         if mode not in HARNESS_MODES:
             raise ValueError(
@@ -235,8 +242,20 @@ class ExperimentHarness:
         #: byte budget for rebuildable feature state (the in-process ϕ(x)
         #: cache and the pool's feature/test segments); None = unbounded
         self.feature_byte_budget = feature_byte_budget
+        #: durable cross-process artifact store (repro.store.resolve_store
+        #: rules: an instance passes through, True/False forces, None
+        #: enables exactly when cache_dir is set). Pretrained backbones
+        #: and the pool's feature/eval segments warm-start from it across
+        #: harness processes — bitwise identical to a cold campaign.
+        self.artifact_store = resolve_store(artifact_store, cache_dir)
+        if self.artifact_store is not None and segment_pool is not None and (
+            segment_pool.store is None
+        ):
+            segment_pool.store = self.artifact_store
         self.feature_runtime = (
-            FeatureRuntime(byte_budget=feature_byte_budget)
+            FeatureRuntime(
+                byte_budget=feature_byte_budget, store=self.artifact_store
+            )
             if feature_cache
             else None
         )
@@ -304,7 +323,8 @@ class ExperimentHarness:
             if self._campaign_backend is None:
                 if self.segment_pool is None:
                     self.segment_pool = CampaignSegmentPool(
-                        byte_budget=self.feature_byte_budget
+                        byte_budget=self.feature_byte_budget,
+                        store=self.artifact_store,
                     )
                     self._owns_pool = True
                 self._campaign_backend = make_backend(
@@ -445,10 +465,32 @@ class ExperimentHarness:
             if model_kind == "main"
             else self.scale.conv_pretrain_epochs
         )
-        pretrain_model(
-            model, source, PretrainConfig(epochs=epochs, seed=self.seed)
-        )
-        self._pretrained[key] = model.state_dict()
+        if self.artifact_store is not None:
+            # Durable warm-start across harness processes. The key pins
+            # everything the pretrained bytes are a function of: the init
+            # RNG (seed + model_kind), the source domain recipe (seed +
+            # source_name + the full Scale, whose dataclass repr covers
+            # every size/architecture knob) and the pretrain config (seed
+            # + scale epochs). Loading is bitwise identical to
+            # re-pretraining and consumes no shared RNG stream.
+            store_key = (
+                "pretrain", _PRETRAIN_KEY_VERSION, "harness", self.seed,
+                model_kind, source_name, repr(self.scale),
+            )
+
+            def _build() -> dict:
+                pretrain_model(
+                    model, source, PretrainConfig(epochs=epochs, seed=self.seed)
+                )
+                return model.state_dict()
+
+            state, _ = self.artifact_store.get_or_build(store_key, _build)
+            self._pretrained[key] = state
+        else:
+            pretrain_model(
+                model, source, PretrainConfig(epochs=epochs, seed=self.seed)
+            )
+            self._pretrained[key] = model.state_dict()
         return self._pretrained[key]
 
     # -- partitions -----------------------------------------------------------

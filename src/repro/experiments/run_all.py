@@ -164,6 +164,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "root of the durable artifact store (repro.store); default "
+            "${REPRO_CACHE:-~/.cache/repro}. Pretrained backbones and "
+            "feature segments warm-start across invocations — bitwise "
+            "identical to a cold run"
+        ),
+    )
+    parser.add_argument(
+        "--no-artifact-store",
+        action="store_true",
+        help=(
+            "disable the durable artifact store: every invocation "
+            "re-pretrains and re-materialises from scratch"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -187,6 +206,8 @@ def run_experiments(
     job_timeout: float | None = None,
     max_job_retries: int | None = None,
     chaos: str | None = None,
+    cache_dir: str | None = None,
+    artifact_store: object | None = None,
 ) -> dict[str, "ExperimentReport"]:
     """Run (a subset of) the experiments and return their reports.
 
@@ -196,6 +217,12 @@ def run_experiments(
     when ``trace`` is on) and printing an end-of-experiment summary.
     Telemetry is observational only: results are bitwise identical with
     it on or off.
+
+    ``cache_dir``/``artifact_store`` follow
+    :func:`repro.store.resolve_store`: programmatic callers get no store
+    unless they opt in (the CLI opts in by default), and a warm store
+    makes the campaign skip re-pretraining and feature rebuilds — bitwise
+    identical to a cold run.
     """
     ids = only or list_experiments()
     context: dict = {}
@@ -215,6 +242,8 @@ def run_experiments(
         job_timeout=job_timeout,
         max_job_retries=max_job_retries,
         chaos=chaos,
+        cache_dir=cache_dir,
+        artifact_store=artifact_store,
     ) as harness:
         for experiment_id in ids:
             runner, description = get_experiment(experiment_id)
@@ -276,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
         job_timeout=args.job_timeout,
         max_job_retries=args.max_job_retries,
         chaos=args.chaos,
+        cache_dir=args.cache_dir,
+        # CLI invocations default the store ON (the warm-start across
+        # processes and days the store exists for); programmatic callers
+        # must opt in via cache_dir/artifact_store.
+        artifact_store=not args.no_artifact_store,
     )
     return 0
 

@@ -64,7 +64,7 @@ from repro.fl.timing import TimingModel
 from repro.nn.serialization import load_state, save_state
 from repro.obs import tracing
 from repro.obs.metrics import export_group
-from repro.utils import make_rng
+from repro.utils import commit_staged, fsync_path, make_rng
 
 #: checkpoint runtime counters (module-level: saves happen inside the
 #: engine loop, far from any session object; the registry picks the
@@ -138,29 +138,36 @@ def _write_sync_checkpoint(path: str, state, payload: dict) -> None:
     payload["state_file"] = state_file
     save_state(os.path.join(path, state_file), state)
     history_path = os.path.join(path, "history.json")
-    staging = history_path + ".tmp"
-    with open(staging, "w") as handle:
-        json.dump(payload, handle)
+
+    def write_history(staging: str) -> None:
+        with open(staging, "w") as handle:
+            json.dump(payload, handle)
+
     # Chaos tear hook: simulate the process dying after the payloads are
     # durable but before the commit point (local import: the fault layer
     # lives in the engine package, which imports fl submodules).
     from repro.engine.faults import FAULTS, active_chaos
 
-    plan = active_chaos()
-    if plan is not None and plan.tear_save():
-        FAULTS["chaos_torn_saves"] += 1
-        return
-    os.replace(staging, history_path)
-    for name in os.listdir(path):  # best-effort GC of superseded states
-        superseded = name != state_file and (
-            name == "global_state.npz"
-            or (name.startswith("global_state-") and name.endswith(".npz"))
-        )
-        if superseded:
-            try:
-                os.remove(os.path.join(path, name))
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+    def tear() -> bool:
+        plan = active_chaos()
+        if plan is not None and plan.tear_save():
+            FAULTS["chaos_torn_saves"] += 1
+            return True
+        return False
+
+    def gc_superseded() -> None:
+        for name in os.listdir(path):  # best-effort GC of superseded states
+            superseded = name != state_file and (
+                name == "global_state.npz"
+                or (name.startswith("global_state-") and name.endswith(".npz"))
+            )
+            if superseded:
+                try:
+                    os.remove(os.path.join(path, name))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    commit_staged(history_path, write_history, abort=tear, gc=gc_superseded)
 
 
 def save_checkpoint(
@@ -457,13 +464,9 @@ def _unjsonable(obj):
     return obj
 
 
-def _fsync_file(path: str) -> None:
-    """Flush a written file (or directory) to stable storage."""
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+#: flush a written file (or directory) to stable storage — shared with the
+#: artifact store's commit path (repro.utils)
+_fsync_file = fsync_path
 
 
 def _current_generation(path: str) -> int:
@@ -817,11 +820,11 @@ def _save_async_checkpoint(
         os.path.getsize(os.path.join(path, name)) for name in files.values()
     )
     manifest = os.path.join(path, _ASYNC_STATE_FILE)
-    staging = manifest + ".tmp"
-    with open(staging, "w") as handle:
-        json.dump(payload, handle)
-        handle.flush()
-        os.fsync(handle.fileno())
+
+    def write_manifest(staging: str) -> None:
+        with open(staging, "w") as handle:
+            json.dump(payload, handle)
+
     # Chaos tear hook: die after the payloads are durable, before the
     # manifest commit — journal bytes past the committed offset and the
     # fresh-generation npz files are exactly what a real crash strands,
@@ -829,27 +832,31 @@ def _save_async_checkpoint(
     # fault layer lives in the engine package).
     from repro.engine.faults import FAULTS, active_chaos
 
-    plan = active_chaos()
-    if plan is not None and plan.tear_save():
-        FAULTS["chaos_torn_saves"] += 1
-        return
-    os.replace(staging, manifest)
-    _fsync_file(path)  # the rename itself lives in the directory entry
-    keep = set(files.values()) | {server_base["file"]}
-    for name in os.listdir(path):  # best-effort GC of superseded payloads
-        superseded = (
-            name.startswith("async_")
-            and name.endswith(".npz")
-            and name not in keep
-        ) or (
-            name.startswith(_ASYNC_JOURNAL_PREFIX)
-            and name != journal["file"]
-        )
-        if superseded:
-            try:
-                os.remove(os.path.join(path, name))
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+    def tear() -> bool:
+        plan = active_chaos()
+        if plan is not None and plan.tear_save():
+            FAULTS["chaos_torn_saves"] += 1
+            return True
+        return False
+
+    def gc_superseded() -> None:
+        keep = set(files.values()) | {server_base["file"]}
+        for name in os.listdir(path):  # best-effort GC of superseded payloads
+            superseded = (
+                name.startswith("async_")
+                and name.endswith(".npz")
+                and name not in keep
+            ) or (
+                name.startswith(_ASYNC_JOURNAL_PREFIX)
+                and name != journal["file"]
+            )
+            if superseded:
+                try:
+                    os.remove(os.path.join(path, name))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    commit_staged(manifest, write_manifest, abort=tear, gc=gc_superseded)
 
 
 def _load_journal(path: str, journal: dict) -> list[dict]:

@@ -56,12 +56,17 @@ Cached bytes are bounded by an optional LRU byte budget (see
 from __future__ import annotations
 
 import weakref
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn.segmented import SegmentedModel
 from repro.obs import tracing
 from repro.obs.metrics import CounterGroup
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.store imports
+    # the engine package, whose backends import this module)
+    from repro.store import ArtifactStore
 
 #: batch size used when materialising ϕ(x); any value is bitwise-equivalent
 #: under the row-determinism invariant, this one just bounds peak memory.
@@ -205,12 +210,21 @@ class FeatureRuntime:
     counters land in ``stats``, ``eval_stats``-style). Anonymous entries
     are outside the budget — they are weakly held and die with their
     client.
+
+    With a durable ``store`` (:class:`repro.store.ArtifactStore`) the LRU
+    extends to disk: keyed misses probe the store before materialising
+    (a warm campaign reads ϕ(x) instead of recomputing it — bitwise
+    identical by the npz round trip), fresh builds are written through,
+    and budget evictions *spill* to the store instead of discarding, so a
+    re-acquire after eviction is a disk read, not a rebuild. Anonymous
+    entries stay memory-only (no stable cross-process identity).
     """
 
     def __init__(
         self,
         batch_size: int = FEATURE_BUILD_BATCH,
         byte_budget: int | None = None,
+        store: "ArtifactStore | None" = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -218,6 +232,7 @@ class FeatureRuntime:
             raise ValueError("byte_budget must be positive when set")
         self.batch_size = batch_size
         self.byte_budget = byte_budget
+        self.store = store
         # Insertion order doubles as recency order (entries are re-inserted
         # on every hit), so the first key is always the LRU victim.
         self._keyed: dict[tuple, np.ndarray] = {}
@@ -308,7 +323,15 @@ class FeatureRuntime:
             )
             if victim is None:
                 break
-            self.stats["bytes"] -= self._keyed.pop(victim).nbytes
+            features = self._keyed.pop(victim)
+            if self.store is not None:
+                # rebuildable entry: land the eviction on disk so the next
+                # acquire is a verified read, not a forward over the shard
+                shard_key, fingerprint = victim
+                self.store.spill(
+                    feature_pool_key(shard_key, fingerprint), {"f": features}
+                )
+            self.stats["bytes"] -= features.nbytes
             self.stats["evictions"] += 1
             evicted += 1
         return evicted
@@ -354,10 +377,22 @@ class FeatureRuntime:
                         self._touch(base_key)
                     return base
 
-                features = self.materialise(
-                    model, chain, keyed_base,
-                    lambda: client.dataset.arrays()[0],
-                )
+                if self.store is not None:
+                    stored, _ = self.store.get_or_build(
+                        feature_pool_key(shard_key, fingerprint),
+                        lambda: {
+                            "f": self.materialise(
+                                model, chain, keyed_base,
+                                lambda: client.dataset.arrays()[0],
+                            )
+                        },
+                    )
+                    features = stored["f"]
+                else:
+                    features = self.materialise(
+                        model, chain, keyed_base,
+                        lambda: client.dataset.arrays()[0],
+                    )
                 self._insert_keyed(key, features)
             else:
                 self.stats["hits"] += 1

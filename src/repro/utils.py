@@ -1,10 +1,63 @@
-"""Shared utilities: seeded RNG trees and plain-text table rendering."""
+"""Shared utilities: seeded RNG trees, durable-commit I/O, tables."""
 
 from __future__ import annotations
 
-from typing import Sequence
+import os
+from typing import Callable, Sequence
 
 import numpy as np
+
+
+def fsync_path(path: str) -> None:
+    """fsync a file or directory by path (directory fsync pins renames)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def commit_staged(
+    path: str,
+    write: Callable[[str], None],
+    *,
+    abort: Callable[[], bool] | None = None,
+    gc: Callable[[], None] | None = None,
+    staging_suffix: str = ".tmp",
+) -> bool:
+    """Stage → fsync → ``os.replace`` → dir-fsync → post-commit GC.
+
+    The one durable-write primitive shared by the checkpoint writers and
+    the artifact store: ``write(staging_path)`` produces the full payload
+    in a staging file next to ``path``; the staged bytes are fsynced,
+    atomically renamed over ``path``, and the parent directory is fsynced
+    so the rename itself survives power loss. Readers therefore only ever
+    observe the old bytes or the new bytes, never a partial write.
+
+    ``abort()`` is the chaos seam: probed after the payload is staged but
+    before the rename, returning ``True`` simulates a crash at the most
+    damaging instant (payload durable, commit missing). The staging file
+    is left behind, exactly as a real crash would. Returns ``False`` when
+    aborted, ``True`` after a completed commit.
+
+    ``gc()`` runs only after a successful commit (superseded-generation
+    cleanup); its failures are not the commit's problem and must be
+    handled by the callback itself.
+    """
+    staging = path + staging_suffix
+    write(staging)
+    fsync_path(staging)
+    if abort is not None and abort():
+        return False
+    os.replace(staging, path)
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fsync_path(parent)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; rename still landed
+    if gc is not None:
+        gc()
+    return True
 
 
 def make_rng(seed: int | np.random.Generator) -> np.random.Generator:

@@ -80,6 +80,38 @@ def test_chaos_plan_parse_and_spec_roundtrip():
         ChaosPlan.parse("kill")
 
 
+def test_chaos_plan_spec_round_trips_every_kind():
+    spec = "kill@3;delay@5:0.25;corrupt@0;tear@1;disk-corrupt@2;disk-tear@*"
+    plan = ChaosPlan.parse(spec, seed=4)
+    assert plan.spec() == spec  # parse(spec).spec() is the identity
+    assert ChaosPlan.parse(plan.spec(), seed=4).events == plan.events
+
+
+def test_chaos_plan_parse_errors_name_the_token_and_grammar():
+    with pytest.raises(
+        ValueError, match=r"unknown chaos kind 'explode'.*grammar"
+    ):
+        ChaosPlan.parse("kill@1;explode@1")
+    with pytest.raises(ValueError, match=r"'kill@'.*missing '@job'.*grammar"):
+        ChaosPlan.parse("kill@")
+    with pytest.raises(ValueError, match=r"bad job index 'x'.*int or '\*'"):
+        ChaosPlan.parse("kill@x")
+    with pytest.raises(ValueError, match=r"negative job index '-1'"):
+        ChaosPlan.parse("kill@-1")
+    with pytest.raises(ValueError, match=r"bad value 'fast'.*float"):
+        ChaosPlan.parse("delay@1:fast")
+
+
+def test_disk_faults_count_store_writes_and_tear_wins():
+    plan = ChaosPlan.parse("disk-tear@0;disk-corrupt@0;disk-corrupt@2")
+    # write 0: both target it, but a torn write never reaches the commit
+    # a corruption would flip, so the tear takes precedence
+    assert plan.disk_fault_for_write() == "disk-tear"
+    assert plan.disk_fault_for_write() is None  # write 1: untouched
+    assert plan.disk_fault_for_write() == "disk-corrupt"  # write 2
+    assert plan.disk_fault_for_write() is None  # indexed: fired exactly once
+
+
 def test_indexed_events_fire_once_and_star_fires_always():
     plan = ChaosPlan.parse("kill@2;delay@*:0.1")
     assert not plan.kill_before(1)
